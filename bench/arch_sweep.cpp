@@ -1,0 +1,42 @@
+// Architecture sweep (beyond the paper's figures): the paper validated the
+// TaskTable's cross-PCIe visibility on two GPUs — Maxwell Titan X and
+// Kepler Tesla K40 (§4.2.2). This bench runs the Fig 5-style comparison on
+// both architecture models. The K40 has 15 SMXs (30 MTBs, 16 KB arenas) to
+// the Titan X's 24 SMMs (48 MTBs, 32 KB arenas), so Pagoda's throughput
+// scales with the device while the protocol stays unchanged.
+#include "bench_common.h"
+
+using namespace pagoda;
+using namespace pagoda::harness;
+using pagoda::bench::BenchArgs;
+
+int main(int argc, char** argv) {
+  BenchArgs args(argc, argv, /*default_tasks=*/2048);
+  bench::print_header("Architecture sweep: Titan X vs Tesla K40", args);
+
+  for (const auto& [label, spec] :
+       std::initializer_list<std::pair<const char*, gpu::GpuSpec>>{
+           {"Titan X (24 SMMs, 1 GHz)", gpu::GpuSpec::titan_x()},
+           {"Tesla K40 (15 SMXs, 745 MHz)", gpu::GpuSpec::tesla_k40()}}) {
+    std::printf("-- %s --\n", label);
+    Table table({"benchmark", "HyperQ", "Pagoda", "HyperQ/Pagoda",
+                 "Pagoda occupancy"});
+    for (const char* wl : {"MB", "MM", "3DES", "MPE"}) {
+      workloads::WorkloadConfig wcfg = args.wcfg();
+      // K40 MTB arenas are 16 KB; keep shmem requests portable.
+      wcfg.use_shared_memory = false;
+      baselines::RunConfig rcfg = args.rcfg();
+      rcfg.spec = spec;
+      const Measurement hq = run_experiment(wl, "HyperQ", wcfg, rcfg);
+      const Measurement pa = run_experiment(wl, "Pagoda", wcfg, rcfg);
+      table.add_row({wl, fmt_ms(hq.result.elapsed),
+                     fmt_ms(pa.result.elapsed), fmt_x(speedup(hq, pa)),
+                     fmt_pct(pa.result.occupancy)});
+    }
+    table.print(std::cout);
+    std::printf("\n");
+  }
+  std::printf("Expected shape: Pagoda's advantage holds on both devices; "
+              "absolute times scale with SMM count and clock.\n");
+  return 0;
+}

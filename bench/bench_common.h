@@ -1,0 +1,64 @@
+// Shared setup for the per-figure bench binaries.
+//
+// Flags (all optional):
+//   --tasks=N     tasks per benchmark (default: per-bench; paper uses 32K)
+//   --full        use the paper's full task counts (32K; SLUD 273K)
+//   --threads=N   threads per task (default 128, the paper's Fig 5 setting)
+//   --seed=N      workload generation seed
+//   --compute     run kernels in Compute mode (slow; verifies outputs)
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "harness/calibration.h"
+#include "harness/experiment.h"
+#include "harness/flags.h"
+
+namespace pagoda::bench {
+
+struct BenchArgs {
+  harness::Flags flags;
+  int tasks;
+  int threads;
+  bool full;
+  std::uint64_t seed;
+  gpu::ExecMode mode;
+
+  BenchArgs(int argc, char** argv, int default_tasks)
+      : flags(argc, argv),
+        tasks(static_cast<int>(flags.get_int("tasks", default_tasks))),
+        threads(static_cast<int>(flags.get_int("threads", 128))),
+        full(flags.has("full")),
+        seed(static_cast<std::uint64_t>(flags.get_int("seed", 0x9A60DA))),
+        mode(flags.has("compute") ? gpu::ExecMode::Compute
+                                  : gpu::ExecMode::Model) {
+    if (full) tasks = 32768;
+  }
+
+  workloads::WorkloadConfig wcfg() const {
+    workloads::WorkloadConfig w;
+    w.num_tasks = tasks;
+    w.threads_per_task = threads;
+    w.seed = seed;
+    w.mode = mode;
+    return w;
+  }
+
+  baselines::RunConfig rcfg() const {
+    baselines::RunConfig r = harness::paper_platform();
+    r.mode = mode;
+    return r;
+  }
+};
+
+inline void print_header(const char* what, const BenchArgs& a) {
+  std::printf("=== %s ===\n", what);
+  std::printf("platform: Titan X model (24 SMMs x 64 warps, 1 GHz), "
+              "PCIe 12 GB/s; tasks=%d threads/task=%d mode=%s\n\n",
+              a.tasks, a.threads,
+              a.mode == gpu::ExecMode::Model ? "model" : "compute");
+}
+
+}  // namespace pagoda::bench

@@ -1,0 +1,50 @@
+// Reproduces Figure 10: average per-task latency vs. task count.
+//
+// Paper: in a statically fused kernel (or any batch system) a task's result
+// is only available when the whole kernel/batch finishes, so average task
+// latency grows with the number of fused tasks; Pagoda's per-task latency
+// stays flat regardless of how many tasks are launched. Representative
+// irregular (3DES) and regular (MM) benchmarks.
+#include <vector>
+
+#include "bench_common.h"
+#include "common/stats.h"
+
+using namespace pagoda;
+using namespace pagoda::harness;
+using pagoda::bench::BenchArgs;
+
+int main(int argc, char** argv) {
+  BenchArgs args(argc, argv, /*default_tasks=*/8192);
+  bench::print_header("Figure 10: average task latency vs task count", args);
+
+  std::vector<int> counts = {128, 256, 512, 1024, 2048, 4096, 8192};
+  if (args.full) {
+    counts.push_back(16384);
+    counts.push_back(32768);
+  }
+
+  for (const char* wl : {"3DES", "MM"}) {
+    Table table({"tasks", "Fused avg latency", "Pagoda avg latency",
+                 "Fused/Pagoda"});
+    for (const int n : counts) {
+      workloads::WorkloadConfig wcfg = args.wcfg();
+      wcfg.num_tasks = n;
+      baselines::RunConfig rcfg = args.rcfg();
+      rcfg.collect_latencies = true;
+      const Measurement fu = run_experiment(wl, "Fusion", wcfg, rcfg);
+      const Measurement pa = run_experiment(wl, "Pagoda", wcfg, rcfg);
+      const double fu_avg = arithmetic_mean(fu.result.task_latency_us);
+      const double pa_avg = arithmetic_mean(pa.result.task_latency_us);
+      table.add_row({std::to_string(n), fmt_us(fu_avg), fmt_us(pa_avg),
+                     fmt_x(fu_avg / pa_avg)});
+    }
+    std::printf("-- %s --\n", wl);
+    table.print(std::cout);
+    std::printf("\n");
+  }
+  std::printf(
+      "Expected shape: fused latency grows ~linearly with task count; "
+      "Pagoda latency stays flat.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Reproduces Figure 5: overall performance comparison.
+//
+// Paper: 32K tasks per benchmark (SLUD 273K), 128 threads per task,
+// execution time includes data copies and compute. Speedups over sequential
+// execution; Pagoda achieves geometric means of 5.70x over 20-core PThreads,
+// 1.51x over CUDA-HyperQ, and 1.69x over GeMTC.
+#include <vector>
+
+#include "bench_common.h"
+#include "common/stats.h"
+
+using namespace pagoda;
+using namespace pagoda::harness;
+using pagoda::bench::BenchArgs;
+
+int main(int argc, char** argv) {
+  BenchArgs args(argc, argv, /*default_tasks=*/4096);
+  bench::print_header("Figure 5: overall speedup over sequential execution",
+                      args);
+
+  const std::vector<std::string> runtimes = {"PThreads", "HyperQ", "GeMTC",
+                                             "Pagoda"};
+  Table table({"benchmark", "tasks", "PThreads", "HyperQ", "GeMTC", "Pagoda",
+               "Pagoda time"});
+
+  std::vector<double> vs_pthreads;
+  std::vector<double> vs_hyperq;
+  std::vector<double> vs_gemtc;
+
+  for (const std::string_view wl : workloads::all_workload_names()) {
+    workloads::WorkloadConfig wcfg = args.wcfg();
+    if (wl == "SLUD") {
+      // Paper: 273K tasks for SLUD; scale proportionally to the bench size.
+      wcfg.num_tasks = args.full ? 273000 : args.tasks * 8;
+    }
+    const baselines::RunConfig rcfg = args.rcfg();
+
+    const Measurement seq = run_experiment(wl, "Sequential", wcfg, rcfg);
+    std::vector<std::string> row{std::string(wl),
+                                 std::to_string(wcfg.num_tasks)};
+    Measurement pagoda_m;
+    double pthreads_time = 0;
+    double hyperq_time = 0;
+    double gemtc_time = 0;
+    for (const std::string& rt : runtimes) {
+      if (!runtime_supports(wl, rt, wcfg)) {
+        row.push_back("n/a");
+        continue;
+      }
+      const Measurement m = run_experiment(wl, rt, wcfg, rcfg);
+      row.push_back(fmt_x(speedup(seq, m)));
+      if (rt == "Pagoda") pagoda_m = m;
+      if (rt == "PThreads") pthreads_time = static_cast<double>(m.result.elapsed);
+      if (rt == "HyperQ") hyperq_time = static_cast<double>(m.result.elapsed);
+      if (rt == "GeMTC") gemtc_time = static_cast<double>(m.result.elapsed);
+    }
+    row.push_back(fmt_ms(pagoda_m.result.elapsed));
+    table.add_row(std::move(row));
+
+    const auto p = static_cast<double>(pagoda_m.result.elapsed);
+    if (pthreads_time > 0) vs_pthreads.push_back(pthreads_time / p);
+    if (hyperq_time > 0) vs_hyperq.push_back(hyperq_time / p);
+    if (gemtc_time > 0) vs_gemtc.push_back(gemtc_time / p);
+  }
+
+  table.print(std::cout);
+  std::printf(
+      "\nPagoda geometric-mean speedup: %.2fx over PThreads (paper: 5.70x), "
+      "%.2fx over CUDA-HyperQ (paper: 1.51x), %.2fx over GeMTC (paper: "
+      "1.69x)\n",
+      geometric_mean(vs_pthreads), geometric_mean(vs_hyperq),
+      geometric_mean(vs_gemtc));
+  return 0;
+}

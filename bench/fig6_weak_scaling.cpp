@@ -1,0 +1,44 @@
+// Reproduces Figure 6: weak scaling with the number of tasks.
+//
+// Paper: 128 threads per task; execution time as task count grows from 64 to
+// 32K for MB, CONV, DCT, 3DES and MPE. For low task counts no scheme
+// occupies the GPU and HyperQ/GeMTC do fairly well; beyond ~512 tasks Pagoda
+// pulls ahead on utilization and scales linearly.
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace pagoda;
+using namespace pagoda::harness;
+using pagoda::bench::BenchArgs;
+
+int main(int argc, char** argv) {
+  BenchArgs args(argc, argv, /*default_tasks=*/8192);
+  bench::print_header("Figure 6: weak scaling with task count", args);
+
+  std::vector<int> counts = {64, 128, 512, 2048, 8192};
+  if (args.full) counts.push_back(32768);
+
+  for (const char* wl : {"MB", "CONV", "DCT", "3DES", "MPE"}) {
+    Table table({"tasks", "HyperQ", "GeMTC", "Pagoda", "HyperQ/Pagoda",
+                 "GeMTC/Pagoda"});
+    for (const int n : counts) {
+      workloads::WorkloadConfig wcfg = args.wcfg();
+      wcfg.num_tasks = n;
+      const baselines::RunConfig rcfg = args.rcfg();
+      const Measurement hq = run_experiment(wl, "HyperQ", wcfg, rcfg);
+      const Measurement ge = run_experiment(wl, "GeMTC", wcfg, rcfg);
+      const Measurement pa = run_experiment(wl, "Pagoda", wcfg, rcfg);
+      table.add_row({std::to_string(n), fmt_ms(hq.result.elapsed),
+                     fmt_ms(ge.result.elapsed), fmt_ms(pa.result.elapsed),
+                     fmt_x(speedup(hq, pa)), fmt_x(speedup(ge, pa))});
+    }
+    std::printf("-- %s --\n", wl);
+    table.print(std::cout);
+    std::printf("\n");
+  }
+  std::printf(
+      "Expected shape: ratios near (or below) 1 for small task counts, "
+      "growing past 1 beyond ~512 tasks; Pagoda time scales ~linearly.\n");
+  return 0;
+}

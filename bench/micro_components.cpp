@@ -1,0 +1,119 @@
+// google-benchmark microbenchmarks for the performance-critical simulator
+// and runtime components: the buddy shared-memory allocator, the event
+// queue, processor-sharing resource, DES block encryption, and TaskTable
+// scans. These guard the *wall-clock* cost of running the reproduction
+// (virtual-time results are deterministic and benchmarked by the fig*
+// binaries).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "pagoda/shmem_allocator.h"
+#include "pagoda/task_table.h"
+#include "sim/ps_resource.h"
+#include "sim/simulation.h"
+#include "workloads/des_core.h"
+
+namespace {
+
+using namespace pagoda;
+
+void BM_BuddyAllocFree(benchmark::State& state) {
+  runtime::ShmemAllocator alloc;
+  const auto bytes = static_cast<std::int32_t>(state.range(0));
+  for (auto _ : state) {
+    const auto off = alloc.allocate(bytes);
+    benchmark::DoNotOptimize(off);
+    if (off) alloc.deallocate(*off);
+  }
+}
+BENCHMARK(BM_BuddyAllocFree)->Arg(512)->Arg(2048)->Arg(8192)->Arg(32768);
+
+void BM_BuddyChurn(benchmark::State& state) {
+  runtime::ShmemAllocator alloc;
+  SplitMix64 rng(1);
+  std::vector<std::int32_t> live;
+  for (auto _ : state) {
+    if (live.size() < 8 && (rng.next() & 1)) {
+      const auto off =
+          alloc.allocate(static_cast<std::int32_t>(rng.next_in(1, 4096)));
+      if (off) live.push_back(*off);
+    } else if (!live.empty()) {
+      alloc.deallocate(live.back());
+      live.pop_back();
+    }
+  }
+  for (const auto off : live) alloc.deallocate(off);
+}
+BENCHMARK(BM_BuddyChurn);
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sim.after(i % 97, [&fired] { ++fired; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueThroughput);
+
+void BM_PsResourceChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    sim::PsResource res(sim, 4.0, 1.0);
+    int done = 0;
+    for (int i = 0; i < 256; ++i) {
+      res.submit(1.0 + (i % 5), [&done] { ++done; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_PsResourceChurn);
+
+void BM_DesBlock(benchmark::State& state) {
+  const auto ks = workloads::des_key_schedule(0x133457799BBCDFF1ULL);
+  std::uint64_t block = 0x0123456789ABCDEFULL;
+  for (auto _ : state) {
+    block = workloads::des_encrypt_block(block, ks);
+    benchmark::DoNotOptimize(block);
+  }
+  state.SetBytesProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_DesBlock);
+
+void BM_TripleDesBlock(benchmark::State& state) {
+  const auto key = workloads::triple_des_key(1, 2, 3);
+  std::uint64_t block = 0x0123456789ABCDEFULL;
+  for (auto _ : state) {
+    block = workloads::triple_des_encrypt_block(block, key);
+    benchmark::DoNotOptimize(block);
+  }
+  state.SetBytesProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_TripleDesBlock);
+
+void BM_TaskTableScan(benchmark::State& state) {
+  runtime::TaskTable table(48, 32);
+  // Mark a few entries busy so the scan does real work.
+  for (int c = 0; c < 48; c += 3) table.at(c, c % 32).ready = 1;
+  for (auto _ : state) {
+    int free_count = 0;
+    for (int c = 0; c < table.columns(); ++c) {
+      for (int r = 0; r < table.rows(); ++r) {
+        if (table.at(c, r).ready == runtime::kReadyFree) ++free_count;
+      }
+    }
+    benchmark::DoNotOptimize(free_count);
+  }
+  state.SetItemsProcessed(state.iterations() * table.size());
+}
+BENCHMARK(BM_TaskTableScan);
+
+}  // namespace
+
+BENCHMARK_MAIN();

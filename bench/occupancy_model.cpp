@@ -1,0 +1,46 @@
+// Reproduces the §2 occupancy arithmetic and reports the theoretical
+// residency for each benchmark's native-kernel footprint.
+#include <cstdio>
+
+#include "gpu/occupancy.h"
+#include "workloads/workload.h"
+
+using namespace pagoda;
+using gpu::BlockFootprint;
+using gpu::GpuSpec;
+
+int main() {
+  const GpuSpec spec = GpuSpec::titan_x();
+  std::printf("=== Section 2 occupancy arithmetic (Titan X: %d SMMs x %d "
+              "warp slots) ===\n\n",
+              spec.num_smms, spec.warps_per_smm);
+
+  const auto narrow = BlockFootprint::of(256, 32, 0);
+  std::printf("one 256-thread narrow task resident:      %5.2f%%  (paper: "
+              "0.52%%)\n",
+              gpu::device_occupancy(spec, narrow, 1) * 100.0);
+  std::printf("32 such tasks under HyperQ:               %5.2f%%  (paper: "
+              "16.67%%)\n\n",
+              gpu::device_occupancy(spec, narrow, 32) * 100.0);
+
+  std::printf("MasterKernel footprint (1024 thr, 32 regs, 32KB shmem):\n");
+  const auto mtb = gpu::max_residency(
+      spec, BlockFootprint::of(1024, 32, 32 * 1024));
+  std::printf("  %d blocks/SMM -> %d warps/SMM -> occupancy %5.1f%% "
+              "(design goal: 100%%)\n\n",
+              mtb.blocks_per_smm, mtb.warps_per_smm, mtb.occupancy * 100.0);
+
+  std::printf("native 128-thread kernels, per-benchmark register budgets "
+              "(Table 3):\n");
+  std::printf("%-6s %5s %14s %12s\n", "bench", "regs", "blocks/SMM",
+              "occupancy");
+  for (const auto wl_name : workloads::all_workload_names()) {
+    if (wl_name == "MPE") continue;
+    auto wl = workloads::make_workload(wl_name);
+    const int regs = wl->traits().default_registers;
+    const auto r = gpu::max_residency(spec, BlockFootprint::of(128, regs, 0));
+    std::printf("%-6s %5d %14d %11.1f%%\n", std::string(wl_name).c_str(),
+                regs, r.blocks_per_smm, r.occupancy * 100.0);
+  }
+  return 0;
+}

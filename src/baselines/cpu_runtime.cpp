@@ -1,0 +1,143 @@
+// CPU baselines: PThreads task pool on the paper's 2x Xeon E5-2660 (20
+// cores at 2.6 GHz) and the sequential single-core baseline Fig 5
+// normalizes against. Tasks run entirely in host memory — no PCIe copies —
+// which is why CPUs win for a handful of narrow tasks and lose at 32K.
+#include <memory>
+#include <vector>
+
+#include "baselines/factories.h"
+#include "gpu/kernel.h"
+#include "host/host_api.h"
+#include "sim/process.h"
+#include "sim/sync.h"
+
+namespace pagoda::baselines {
+namespace {
+
+/// Calibration of the CPU model (see harness/calibration.h for discussion):
+/// effective scalar-op throughput per core and the per-task pool handoff.
+// A counted "op" is a multiply-accumulate plus its loads; scalar code on the
+// 2.6 GHz Xeon sustains ~1.3 of those per cycle on these kernels.
+constexpr double kCoreOpsPerSec = 3.5e9;
+constexpr double kDispatchOps = 8000.0;  // ~2.3 us pthread pool handoff
+
+/// Executes a task's kernel functionally on the host (Compute mode): the
+/// CPU baselines run the same code the GPU kernels do, which is also how the
+/// outputs stay verifiable. Warps of a block advance in barrier rounds.
+void run_task_functionally(const runtime::TaskParams& p) {
+  for (int block = 0; block < p.num_blocks; ++block) {
+    const int warps = p.warps_per_block();
+    std::vector<gpu::WarpCtx> ctxs(static_cast<std::size_t>(warps));
+    std::vector<std::unique_ptr<gpu::KernelCoro>> coros;
+    std::vector<std::byte> shmem(
+        static_cast<std::size_t>(p.shared_mem_bytes));
+    coros.reserve(static_cast<std::size_t>(warps));
+    for (int w = 0; w < warps; ++w) {
+      gpu::WarpCtx& ctx = ctxs[static_cast<std::size_t>(w)];
+      ctx.warp_in_task = block * warps + w;
+      ctx.block_index = block;
+      ctx.warp_in_block = w;
+      ctx.threads_per_block = p.threads_per_block;
+      ctx.num_blocks = p.num_blocks;
+      ctx.mode = gpu::ExecMode::Compute;
+      ctx.args = p.args.data();
+      ctx.shared_mem = std::span<std::byte>(shmem);
+      coros.push_back(std::make_unique<gpu::KernelCoro>(
+          p.fn(ctxs[static_cast<std::size_t>(w)])));
+    }
+    bool any_live = true;
+    while (any_live) {
+      any_live = false;
+      for (int w = 0; w < warps; ++w) {
+        auto& coro = *coros[static_cast<std::size_t>(w)];
+        if (coro.done()) continue;
+        const gpu::SegmentResult seg =
+            gpu::run_segment(coro, ctxs[static_cast<std::size_t>(w)]);
+        if (seg.at_barrier) any_live = true;
+      }
+    }
+  }
+}
+
+class CpuRuntime final : public TaskRuntime {
+ public:
+  explicit CpuRuntime(int cores) : cores_(cores) {}
+
+  std::string_view name() const override {
+    return cores_ == 1 ? "Sequential" : "PThreads";
+  }
+
+  RunResult run(workloads::Workload& w, const RunConfig& cfg) override {
+    sim::Simulation sim;
+    host::CpuCluster cpu(sim, cores_, kCoreOpsPerSec);
+    const std::span<const workloads::TaskSpec> tasks = w.tasks();
+    const int waves = max_wave(w) + 1;
+
+    std::vector<sim::Time> submit(tasks.size(), 0);
+    std::vector<sim::Time> complete(tasks.size(), 0);
+    bool done = false;
+    sim::Time end_time = 0;
+
+    struct Driver {
+      static sim::Process run(sim::Simulation& sim, host::CpuCluster& cpu,
+                              std::span<const workloads::TaskSpec> tasks,
+                              int waves, gpu::ExecMode mode,
+                              std::vector<sim::Time>& submit,
+                              std::vector<sim::Time>& complete, bool& done,
+                              sim::Time& end_time) {
+        for (int wave = 0; wave < waves; ++wave) {
+          int remaining = 0;
+          sim::Trigger wave_done(sim);
+          for (std::size_t i = 0; i < tasks.size(); ++i) {
+            if (tasks[i].wave != wave) continue;
+            ++remaining;
+          }
+          if (remaining == 0) continue;
+          int* left = &remaining;
+          for (std::size_t i = 0; i < tasks.size(); ++i) {
+            if (tasks[i].wave != wave) continue;
+            submit[i] = sim.now();
+            if (mode == gpu::ExecMode::Compute) {
+              run_task_functionally(tasks[i].params);
+            }
+            cpu.run_async(kDispatchOps + tasks[i].cpu_ops,
+                          [&sim, &complete, i, left, &wave_done] {
+                            complete[i] = sim.now();
+                            if (--*left == 0) wave_done.fire();
+                          });
+          }
+          co_await wave_done.wait();
+        }
+        end_time = sim.now();
+        done = true;
+      }
+    };
+
+    sim.spawn(Driver::run(sim, cpu, tasks, waves, cfg.mode, submit, complete,
+                          done, end_time));
+    sim.run_until(cfg.time_cap);
+
+    RunResult res;
+    res.completed = done;
+    res.elapsed = end_time;
+    res.tasks = static_cast<std::int64_t>(tasks.size());
+    if (cfg.collect_latencies) {
+      for (std::size_t i = 0; i < tasks.size(); ++i) {
+        res.task_latency_us.push_back(
+            sim::to_microseconds(complete[i] - submit[i]));
+      }
+    }
+    return res;
+  }
+
+ private:
+  int cores_;
+};
+
+}  // namespace
+
+std::unique_ptr<TaskRuntime> make_cpu_runtime(int cores) {
+  return std::make_unique<CpuRuntime>(cores);
+}
+
+}  // namespace pagoda::baselines

@@ -1,0 +1,21 @@
+// Internal per-scheme factories (see task_runtime.h::make_runtime).
+#pragma once
+
+#include <memory>
+
+#include "baselines/task_runtime.h"
+
+namespace pagoda::baselines {
+
+std::unique_ptr<TaskRuntime> make_pagoda_runtime(bool batching);
+std::unique_ptr<TaskRuntime> make_hyperq_runtime();
+std::unique_ptr<TaskRuntime> make_gemtc_runtime();
+std::unique_ptr<TaskRuntime> make_fusion_runtime();
+std::unique_ptr<TaskRuntime> make_cpu_runtime(int cores);
+
+/// GeMTC's SuperKernel worker count for this workload's threadblock size:
+/// the number of resident worker threadblocks at maximum occupancy. Also
+/// used as the default batch size for batch-gated schemes.
+int gemtc_worker_count(const gpu::GpuSpec& spec, const workloads::Workload& w);
+
+}  // namespace pagoda::baselines

@@ -1,0 +1,27 @@
+#include "baselines/task_runtime.h"
+
+#include "baselines/factories.h"
+#include "common/check.h"
+
+namespace pagoda::baselines {
+
+int max_wave(const workloads::Workload& w) {
+  int m = 0;
+  for (const workloads::TaskSpec& t : w.tasks()) m = std::max(m, t.wave);
+  return m;
+}
+
+bool TaskRuntime::supports(const workloads::Workload&) const { return true; }
+
+std::unique_ptr<TaskRuntime> make_runtime(std::string_view name) {
+  if (name == "Pagoda") return make_pagoda_runtime(/*batching=*/false);
+  if (name == "PagodaBatching") return make_pagoda_runtime(/*batching=*/true);
+  if (name == "HyperQ") return make_hyperq_runtime();
+  if (name == "GeMTC") return make_gemtc_runtime();
+  if (name == "Fusion") return make_fusion_runtime();
+  if (name == "PThreads") return make_cpu_runtime(/*cores=*/20);
+  if (name == "Sequential") return make_cpu_runtime(/*cores=*/1);
+  PAGODA_CHECK_MSG(false, "unknown runtime name");
+}
+
+}  // namespace pagoda::baselines

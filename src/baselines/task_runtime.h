@@ -1,0 +1,86 @@
+// Common interface over every task-execution scheme the paper compares:
+//
+//   Pagoda          — the full runtime (continuous spawning + concurrent,
+//                     pipelined scheduling)
+//   PagodaBatching  — Fig 11 ablation: Pagoda's scheduler, GeMTC's batching
+//   HyperQ          — one CUDA kernel per task over 32 streams/connections
+//   GeMTC           — persistent SuperKernel, single FIFO queue, batches
+//   Fusion          — all tasks statically fused into one monolithic kernel
+//   PThreads        — task pool on the 20-core CPU
+//   Sequential      — one CPU core (the Fig 5 speedup baseline)
+//
+// Each run() builds a fresh Simulation + Device, executes every task of the
+// workload (respecting SLUD-style dependency waves) and reports end-to-end
+// virtual time, per-task latencies and achieved occupancy.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "gpu/gpu_spec.h"
+#include "host/host_api.h"
+#include "pagoda/master_kernel.h"
+#include "pcie/pcie_bus.h"
+#include "workloads/workload.h"
+
+namespace pagoda::baselines {
+
+struct RunConfig {
+  gpu::ExecMode mode = gpu::ExecMode::Model;
+  /// Include per-task H2D/D2H data copies (Fig 5 "overall") or not
+  /// (Fig 7/8 "compute time only").
+  bool include_data_copies = true;
+  int spawner_threads = 2;  // paper Fig 1a: two CPU spawner threads
+  gpu::GpuSpec spec = gpu::GpuSpec::titan_x();
+  pcie::PcieConfig pcie{};
+  host::HostCosts host{};
+  runtime::PagodaConfig pagoda{};
+  /// GeMTC / Pagoda-Batching batch size; 0 = one task per SuperKernel
+  /// worker (GeMTC's natural batch).
+  int batch_size = 0;
+  /// Hard cap on virtual time (deadlock safety net for experiments).
+  sim::Duration time_cap = sim::seconds(3600.0);
+  /// Record per-task spawn->completion latencies (Fig 10).
+  bool collect_latencies = false;
+};
+
+struct RunResult {
+  bool completed = false;
+  sim::Duration elapsed = 0;
+  std::int64_t tasks = 0;
+  /// Spawn-to-completion latency per task, microseconds (when collected).
+  std::vector<double> task_latency_us;
+  /// Achieved occupancy: time-averaged warps doing *task work* over the
+  /// device warp capacity.
+  double occupancy = 0.0;
+
+  /// PCIe wire occupancy per direction (copy-boundedness diagnostics; the
+  /// Table 3 "% time spent in data copy" analysis).
+  sim::Duration h2d_wire_busy = 0;
+  sim::Duration d2h_wire_busy = 0;
+
+  double elapsed_ms() const { return sim::to_milliseconds(elapsed); }
+};
+
+class TaskRuntime {
+ public:
+  virtual ~TaskRuntime() = default;
+  virtual std::string_view name() const = 0;
+
+  /// Whether this scheme can execute the workload at all. Batch-based
+  /// schemes (GeMTC, Fusion) need the task count statically and cannot run
+  /// dependency-wave workloads like SLUD (§6.2/§6.3).
+  virtual bool supports(const workloads::Workload& w) const;
+
+  virtual RunResult run(workloads::Workload& w, const RunConfig& cfg) = 0;
+};
+
+/// Factory: "Pagoda", "PagodaBatching", "HyperQ", "GeMTC", "Fusion",
+/// "PThreads", "Sequential".
+std::unique_ptr<TaskRuntime> make_runtime(std::string_view name);
+
+/// Highest dependency wave in the workload (0 = all independent).
+int max_wave(const workloads::Workload& w);
+
+}  // namespace pagoda::baselines

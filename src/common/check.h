@@ -1,0 +1,31 @@
+// Lightweight runtime-checked assertions, active in all build types.
+//
+// Simulator correctness depends on internal invariants (event ordering,
+// resource conservation, protocol state machines); violating them silently
+// would corrupt results, so checks stay on in release builds. The cost is
+// negligible next to the event-queue work they guard.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pagoda {
+
+[[noreturn]] inline void check_fail(const char* expr, const char* file, int line,
+                                    const char* msg) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace pagoda
+
+#define PAGODA_CHECK(expr)                                         \
+  (static_cast<bool>(expr)                                         \
+       ? void(0)                                                   \
+       : ::pagoda::check_fail(#expr, __FILE__, __LINE__, ""))
+
+#define PAGODA_CHECK_MSG(expr, msg)                                \
+  (static_cast<bool>(expr)                                         \
+       ? void(0)                                                   \
+       : ::pagoda::check_fail(#expr, __FILE__, __LINE__, (msg)))

@@ -1,0 +1,39 @@
+// Small statistics helpers used by the experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pagoda {
+
+/// Geometric mean of strictly positive values. Returns 0 for an empty span.
+double geometric_mean(std::span<const double> values);
+
+/// Arithmetic mean. Returns 0 for an empty span.
+double arithmetic_mean(std::span<const double> values);
+
+/// Population standard deviation. Returns 0 for spans of size < 2.
+double std_deviation(std::span<const double> values);
+
+/// p-th percentile (0..100) by linear interpolation on a copy of the data.
+double percentile(std::span<const double> values, double p);
+
+/// Online accumulator for min/max/mean/count without storing samples.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace pagoda

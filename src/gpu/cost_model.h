@@ -1,0 +1,47 @@
+// Cycle-cost constants used by task kernels when charging work to the SMM
+// pipeline model.
+//
+// Each operation has an *issue* cost (cycles of pipeline occupancy, shared
+// among runnable warps at 4 warp-instructions/cycle) and memory operations
+// additionally have a *stall* cost (latency that elapses concurrently across
+// warps). The split is what makes occupancy matter in the model: a lone
+// narrow kernel is stall-bound (it cannot hide latency), while a fully
+// occupied SMM overlaps stalls and becomes issue-bound — the premise of the
+// paper's §2.
+//
+// Values are deliberately coarse: the reproduction targets the *shape* of
+// the paper's results (who wins, by what factor, where crossovers fall),
+// which is governed by occupancy and scheduling, not instruction accuracy.
+// The stall numbers assume moderate memory-level parallelism inside a warp's
+// access stream (amortized DRAM latency per access, not the raw ~400 cycles).
+#pragma once
+
+namespace pagoda::gpu {
+
+struct CostModel {
+  /// Cycles per arithmetic warp instruction (FMA, add, compare).
+  double alu = 1.0;
+
+  /// Issue cycles per 32-wide coalesced global-memory access.
+  double global_access = 2.0;
+  /// Amortized stall cycles per coalesced global access.
+  double global_stall = 24.0;
+
+  /// Issue cycles per uncoalesced / irregular global access (replays).
+  double global_access_irregular = 8.0;
+  /// Amortized stall cycles per irregular access.
+  double global_stall_irregular = 64.0;
+
+  /// Cycles per shared-memory access (bank-conflict-free, no stall).
+  double shared_access = 1.0;
+
+  /// Special-function (exp/sin/rsqrt) op cost.
+  double sfu = 4.0;
+
+  /// Integer/logic op cost (3DES S-box shuffling etc.).
+  double logic = 1.0;
+};
+
+inline constexpr CostModel kDefaultCostModel{};
+
+}  // namespace pagoda::gpu

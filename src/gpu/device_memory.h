@@ -1,0 +1,81 @@
+// Device (global) memory model.
+//
+// Device memory is backed by host allocations so kernels can compute real
+// results; the simulator separately charges transfer time for PCIe copies.
+// A DeviceArena hands out DeviceBuffer handles, tracks outstanding bytes, and
+// enforces the card's capacity (12 GB on the Titan X).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+
+namespace pagoda::gpu {
+
+/// An owning device allocation, movable, freed on destruction (RAII —
+/// cudaMalloc/cudaFree pairs are implicit).
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+
+  std::size_t size() const { return bytes_ ? bytes_->size() : 0; }
+  bool valid() const { return bytes_ != nullptr; }
+
+  std::byte* data() { return bytes_->data(); }
+  const std::byte* data() const { return bytes_->data(); }
+
+  template <typename T>
+  std::span<T> as() {
+    PAGODA_CHECK(valid());
+    return {reinterpret_cast<T*>(bytes_->data()), size() / sizeof(T)};
+  }
+  template <typename T>
+  std::span<const T> as() const {
+    PAGODA_CHECK(valid());
+    return {reinterpret_cast<const T*>(bytes_->data()), size() / sizeof(T)};
+  }
+
+ private:
+  friend class DeviceArena;
+  struct Deleter {
+    std::int64_t* outstanding;
+    void operator()(std::vector<std::byte>* v) const {
+      *outstanding -= static_cast<std::int64_t>(v->size());
+      delete v;
+    }
+  };
+  std::unique_ptr<std::vector<std::byte>, Deleter> bytes_;
+};
+
+class DeviceArena {
+ public:
+  explicit DeviceArena(std::int64_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+  DeviceArena(const DeviceArena&) = delete;
+  DeviceArena& operator=(const DeviceArena&) = delete;
+
+  /// cudaMalloc equivalent: zero-initialized device allocation.
+  DeviceBuffer allocate(std::size_t bytes) {
+    PAGODA_CHECK_MSG(outstanding_ + static_cast<std::int64_t>(bytes) <=
+                         capacity_,
+                     "device out of memory");
+    outstanding_ += static_cast<std::int64_t>(bytes);
+    DeviceBuffer buf;
+    buf.bytes_ = {new std::vector<std::byte>(bytes),
+                  DeviceBuffer::Deleter{&outstanding_}};
+    return buf;
+  }
+
+  std::int64_t outstanding_bytes() const { return outstanding_; }
+  std::int64_t capacity() const { return capacity_; }
+
+ private:
+  std::int64_t capacity_;
+  std::int64_t outstanding_ = 0;
+};
+
+}  // namespace pagoda::gpu

@@ -1,0 +1,56 @@
+// Theoretical occupancy calculator (§2 of the paper).
+//
+// Occupancy = resident warps / maximum resident warps (64 per SMM). The
+// resident-threadblock count per SMM is limited by four factors: block
+// slots, warp slots / threads, shared memory, registers. This reproduces the
+// paper's §2 arithmetic (one 256-thread task => 0.52%; 32 HyperQ tasks =>
+// 16.67%) and the Table 5 occupancy column.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "gpu/gpu_spec.h"
+#include "gpu/smm.h"
+
+namespace pagoda::gpu {
+
+struct OccupancyResult {
+  int blocks_per_smm = 0;   // max resident threadblocks per SMM
+  int warps_per_smm = 0;    // resident warps per SMM at that block count
+  double occupancy = 0.0;   // resident warps / warp slots, per SMM
+};
+
+/// Maximum residency for a kernel whose blocks have footprint `f`.
+inline OccupancyResult max_residency(const GpuSpec& spec,
+                                     const BlockFootprint& f) {
+  OccupancyResult r;
+  if (f.warps == 0) return r;
+  int by_blocks = spec.max_blocks_per_smm;
+  int by_warps = spec.warps_per_smm / f.warps;
+  int by_threads = spec.max_threads_per_smm / std::max(1, f.threads);
+  int by_shmem = f.shared_mem_bytes > 0
+                     ? static_cast<int>(spec.shared_mem_per_smm /
+                                        f.shared_mem_bytes)
+                     : spec.max_blocks_per_smm;
+  int by_regs = f.registers > 0 ? static_cast<int>(spec.registers_per_smm /
+                                                   f.registers)
+                                : spec.max_blocks_per_smm;
+  r.blocks_per_smm = std::max(
+      0, std::min({by_blocks, by_warps, by_threads, by_shmem, by_regs}));
+  r.warps_per_smm = r.blocks_per_smm * f.warps;
+  r.occupancy = static_cast<double>(r.warps_per_smm) /
+                static_cast<double>(spec.warps_per_smm);
+  return r;
+}
+
+/// Device-wide occupancy of `concurrent_blocks` resident blocks of footprint
+/// `f` spread over all SMMs (the §2 narrow-task arithmetic).
+inline double device_occupancy(const GpuSpec& spec, const BlockFootprint& f,
+                               std::int64_t concurrent_blocks) {
+  const std::int64_t resident_warps = concurrent_blocks * f.warps;
+  return static_cast<double>(resident_warps) /
+         static_cast<double>(spec.max_resident_warps());
+}
+
+}  // namespace pagoda::gpu

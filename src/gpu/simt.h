@@ -1,0 +1,77 @@
+// SIMT kernel-authoring helpers.
+//
+// Task kernels follow a common shape: a grid-stride loop over N elements,
+// executed for real in Compute mode and charged analytically in both modes.
+// These helpers capture that shape so kernels stay small and their charges
+// stay consistent:
+//
+//   gpu::KernelCoro my_kernel(gpu::WarpCtx& ctx) {
+//     const auto& args = ctx.args_as<MyArgs>();
+//     simt::charge_elements(ctx, args.n, /*issue=*/12.0, /*stall=*/24.0);
+//     simt::for_each_element(ctx, args.n, [&](int i) {
+//       args.out[i] = f(args.in[i]);
+//     });
+//     co_return;
+//   }
+//
+// charge_elements charges per *warp iteration* (one warp instruction covers
+// 32 lanes); for_each_element only runs its body in Compute mode.
+#pragma once
+
+#include <utility>
+
+#include "gpu/kernel.h"
+
+namespace pagoda::gpu::simt {
+
+/// Total threads across the task's grid.
+inline int total_threads(const WarpCtx& ctx) {
+  return ctx.threads_per_block * ctx.num_blocks;
+}
+
+/// Number of grid-stride iterations this warp performs over [0, n): the
+/// iteration count of its lowest lane (the slowest lane bound, which is what
+/// the warp's lockstep execution pays for).
+inline int warp_iterations(const WarpCtx& ctx, int n) {
+  const int stride = total_threads(ctx);
+  const int first = ctx.tid(0);
+  if (first >= n) return 0;
+  return (n - first + stride - 1) / stride;
+}
+
+/// Charges `issue_per_iter` pipeline cycles and `stall_per_iter` latency
+/// cycles for every grid-stride warp iteration over [0, n).
+inline void charge_elements(WarpCtx& ctx, int n, double issue_per_iter,
+                            double stall_per_iter) {
+  const int iters = warp_iterations(ctx, n);
+  ctx.charge(iters * issue_per_iter);
+  ctx.charge_stall(iters * stall_per_iter);
+}
+
+/// Runs fn(i) for every element i in [0, n) owned by this warp's lanes
+/// under the grid-stride decomposition — Compute mode only (Model mode
+/// elides the bodies; charges must come from charge_elements).
+template <typename Fn>
+inline void for_each_element(WarpCtx& ctx, int n, Fn&& fn) {
+  if (!ctx.compute()) return;
+  const int stride = total_threads(ctx);
+  for (int lane = 0; lane < 32; ++lane) {
+    for (int i = ctx.tid(lane); i < n; i += stride) {
+      fn(i);
+    }
+  }
+}
+
+/// As for_each_element, but iterates regardless of mode (for kernels whose
+/// bookkeeping must run even in Model mode).
+template <typename Fn>
+inline void for_each_element_always(WarpCtx& ctx, int n, Fn&& fn) {
+  const int stride = total_threads(ctx);
+  for (int lane = 0; lane < 32; ++lane) {
+    for (int i = ctx.tid(lane); i < n; i += stride) {
+      fn(i);
+    }
+  }
+}
+
+}  // namespace pagoda::gpu::simt

@@ -1,0 +1,137 @@
+// One Streaming Multiprocessor (SMM): issue pipeline + resource accounting.
+//
+// The issue pipeline is a processor-sharing resource: capacity = issue_width
+// warp-instructions per cycle (4 on Maxwell — four warp schedulers), per-warp
+// cap = 1 instruction per cycle. With >= 4 runnable warps the SMM is
+// saturated; with fewer, warps run at full rate but capacity idles — that is
+// precisely the underutilization narrow tasks cause.
+//
+// Resource accounting covers the four occupancy limiters of §2: warp slots
+// (64), threadblock slots (32), shared memory (96 KB) and registers (64 K).
+// The native block scheduler reserves whole threadblocks; Pagoda's
+// MasterKernel instead reserves everything once (two 32-warp MTBs) and
+// virtualizes from there.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+#include "gpu/gpu_spec.h"
+#include "sim/ps_resource.h"
+#include "sim/simulation.h"
+
+namespace pagoda::gpu {
+
+/// Resource footprint of one threadblock for native scheduling.
+struct BlockFootprint {
+  int threads = 0;
+  int warps = 0;
+  std::int64_t shared_mem_bytes = 0;
+  std::int64_t registers = 0;  // total for the block = regs/thread * threads
+
+  static BlockFootprint of(int threads_per_block, int regs_per_thread,
+                           std::int64_t shared_mem_bytes) {
+    BlockFootprint f;
+    f.threads = threads_per_block;
+    f.warps = (threads_per_block + 31) / 32;
+    f.shared_mem_bytes = shared_mem_bytes;
+    f.registers =
+        static_cast<std::int64_t>(regs_per_thread) * threads_per_block;
+    return f;
+  }
+};
+
+class Smm {
+ public:
+  Smm(sim::Simulation& sim, const GpuSpec& spec, int index)
+      : sim_(&sim),
+        spec_(&spec),
+        index_(index),
+        pipeline_(sim, spec.issue_width * spec.clock_hz, spec.clock_hz),
+        free_warps_(spec.warps_per_smm),
+        free_blocks_(spec.max_blocks_per_smm),
+        free_threads_(spec.max_threads_per_smm),
+        free_shared_mem_(spec.shared_mem_per_smm),
+        free_registers_(spec.registers_per_smm) {}
+  Smm(const Smm&) = delete;
+  Smm& operator=(const Smm&) = delete;
+
+  int index() const { return index_; }
+
+  /// The issue pipeline; work units are cycles of warp instructions.
+  /// (PsResource uses work-units/second, so submit cycles directly — the
+  /// capacity was scaled by clock_hz in the constructor.)
+  sim::PsResource& pipeline() { return pipeline_; }
+
+  /// Awaitable: execute `cycles` of warp-issue work on this SMM.
+  auto execute(double cycles) { return pipeline_.execute(cycles); }
+
+  // --- native threadblock residency --------------------------------------
+  bool can_fit(const BlockFootprint& f) const {
+    return free_warps_ >= f.warps && free_blocks_ >= 1 &&
+           free_threads_ >= f.threads &&
+           free_shared_mem_ >= f.shared_mem_bytes &&
+           free_registers_ >= f.registers;
+  }
+
+  void reserve(const BlockFootprint& f) {
+    PAGODA_CHECK_MSG(can_fit(f), "reserve without can_fit");
+    free_warps_ -= f.warps;
+    free_blocks_ -= 1;
+    free_threads_ -= f.threads;
+    free_shared_mem_ -= f.shared_mem_bytes;
+    free_registers_ -= f.registers;
+    touch_occupancy(sim_->now());
+  }
+
+  void release(const BlockFootprint& f) {
+    free_warps_ += f.warps;
+    free_blocks_ += 1;
+    free_threads_ += f.threads;
+    free_shared_mem_ += f.shared_mem_bytes;
+    free_registers_ += f.registers;
+    PAGODA_CHECK(free_warps_ <= spec_->warps_per_smm);
+    PAGODA_CHECK(free_blocks_ <= spec_->max_blocks_per_smm);
+    PAGODA_CHECK(free_threads_ <= spec_->max_threads_per_smm);
+    PAGODA_CHECK(free_shared_mem_ <= spec_->shared_mem_per_smm);
+    PAGODA_CHECK(free_registers_ <= spec_->registers_per_smm);
+    touch_occupancy(sim_->now());
+  }
+
+  int free_warps() const { return free_warps_; }
+  int resident_warps() const { return spec_->warps_per_smm - free_warps_; }
+  std::int64_t free_shared_mem() const { return free_shared_mem_; }
+
+  /// ∫ resident-warp dt, for achieved-occupancy reporting.
+  double resident_warp_seconds() const { return resident_integral_current(); }
+
+  /// Integrates the occupancy over the elapsed interval (at the previous
+  /// residency) and snapshots the current residency. Called internally on
+  /// every reserve/release and by readers before reporting.
+  void touch_occupancy(sim::Time now) {
+    resident_integral_ += static_cast<double>(resident_warps_prev_) *
+                          sim::to_seconds(now - last_touch_);
+    last_touch_ = now;
+    resident_warps_prev_ = resident_warps();
+  }
+
+ private:
+  double resident_integral_current() const { return resident_integral_; }
+
+  sim::Simulation* sim_;
+  const GpuSpec* spec_;
+  int index_;
+  sim::PsResource pipeline_;
+
+  int free_warps_;
+  int free_blocks_;
+  int free_threads_;
+  std::int64_t free_shared_mem_;
+  std::int64_t free_registers_;
+
+  double resident_integral_ = 0.0;
+  sim::Time last_touch_ = 0;
+  int resident_warps_prev_ = 0;
+};
+
+}  // namespace pagoda::gpu

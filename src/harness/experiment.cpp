@@ -1,0 +1,121 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "common/check.h"
+
+namespace pagoda::harness {
+
+namespace {
+
+workloads::WorkloadConfig adjust_for_runtime(std::string_view runtime_name,
+                                             workloads::WorkloadConfig wcfg) {
+  if (runtime_name == "GeMTC") {
+    // "The GeMTC versions do not use shared memory, since GeMTC has no
+    // support for it." (§6.2)
+    wcfg.use_shared_memory = false;
+  }
+  return wcfg;
+}
+
+}  // namespace
+
+bool runtime_supports(std::string_view workload_name,
+                      std::string_view runtime_name,
+                      workloads::WorkloadConfig wcfg) {
+  auto rt = baselines::make_runtime(runtime_name);
+  auto wl = workloads::make_workload(workload_name);
+  // A small probe generation suffices for the structural checks.
+  workloads::WorkloadConfig probe = adjust_for_runtime(runtime_name, wcfg);
+  probe.num_tasks = std::min(probe.num_tasks, 64);
+  probe.mode = gpu::ExecMode::Model;
+  wl->generate(probe);
+  return rt->supports(*wl);
+}
+
+Measurement run_experiment(std::string_view workload_name,
+                           std::string_view runtime_name,
+                           workloads::WorkloadConfig wcfg,
+                           const baselines::RunConfig& rcfg) {
+  auto rt = baselines::make_runtime(runtime_name);
+  auto wl = workloads::make_workload(workload_name);
+  wcfg = adjust_for_runtime(runtime_name, wcfg);
+  wcfg.mode = rcfg.mode;
+  wl->generate(wcfg);
+  PAGODA_CHECK_MSG(rt->supports(*wl), "runtime does not support workload");
+
+  Measurement m;
+  m.workload = std::string(workload_name);
+  m.runtime = std::string(runtime_name);
+  m.result = rt->run(*wl, rcfg);
+  PAGODA_CHECK_MSG(m.result.completed, "experiment did not complete in time");
+  if (rcfg.mode == gpu::ExecMode::Compute) {
+    PAGODA_CHECK_MSG(wl->verify(), "workload output verification failed");
+  }
+  return m;
+}
+
+double speedup(const Measurement& base, const Measurement& m) {
+  PAGODA_CHECK(m.result.elapsed > 0);
+  return static_cast<double>(base.result.elapsed) /
+         static_cast<double>(m.result.elapsed);
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  PAGODA_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+    for (const auto& row : rows_) width[c] = std::max(width[c], row[c].size());
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << row[c];
+      for (std::size_t pad = row[c].size(); pad < width[c]; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    rule += std::string(width[c], '-');
+    if (c + 1 < headers_.size()) rule += "  ";
+  }
+  os << rule << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string fmt_ms(sim::Duration d) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f ms", sim::to_milliseconds(d));
+  return buf;
+}
+
+std::string fmt_x(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fx", s);
+  return buf;
+}
+
+std::string fmt_pct(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+std::string fmt_us(double us) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f us", us);
+  return buf;
+}
+
+}  // namespace pagoda::harness

@@ -1,0 +1,56 @@
+// Experiment runner: (workload x runtime x config) -> measurement, plus the
+// plain-text table printer the bench binaries use to emit paper-style rows.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "baselines/task_runtime.h"
+#include "workloads/workload.h"
+
+namespace pagoda::harness {
+
+struct Measurement {
+  std::string workload;
+  std::string runtime;
+  baselines::RunResult result;
+};
+
+/// Generates the workload (applying per-runtime constraints: GeMTC gets the
+/// no-shared-memory variants, per §6.2), runs it under the named runtime and
+/// returns the measurement. Aborts if the runtime does not support the
+/// workload — call runtime_supports() first for optional schemes.
+Measurement run_experiment(std::string_view workload_name,
+                           std::string_view runtime_name,
+                           workloads::WorkloadConfig wcfg,
+                           const baselines::RunConfig& rcfg);
+
+/// Whether `runtime_name` can execute `workload_name` as configured
+/// (e.g. GeMTC/Fusion cannot run SLUD).
+bool runtime_supports(std::string_view workload_name,
+                      std::string_view runtime_name,
+                      workloads::WorkloadConfig wcfg);
+
+/// Speedup of `m` over `base` on total time (the Fig 5/9 metric).
+double speedup(const Measurement& base, const Measurement& m);
+
+/// Fixed-width text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string fmt_ms(sim::Duration d);
+std::string fmt_x(double speedup);       // "5.70x"
+std::string fmt_pct(double fraction);    // "16.7%"
+std::string fmt_us(double microseconds);
+
+}  // namespace pagoda::harness

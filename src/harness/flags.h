@@ -1,0 +1,45 @@
+// Minimal command-line flag parsing for the bench binaries:
+//   --tasks=4096 --threads=128 --full --mode=compute --seed=7
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pagoda::harness {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  bool has(std::string_view name) const {
+    const std::string probe = "--" + std::string(name);
+    for (const std::string& a : args_) {
+      if (a == probe || a.rfind(probe + "=", 0) == 0) return true;
+    }
+    return false;
+  }
+
+  std::string get(std::string_view name, std::string_view def = "") const {
+    const std::string probe = "--" + std::string(name) + "=";
+    for (const std::string& a : args_) {
+      if (a.rfind(probe, 0) == 0) return a.substr(probe.size());
+    }
+    return std::string(def);
+  }
+
+  std::int64_t get_int(std::string_view name, std::int64_t def) const {
+    const std::string v = get(name);
+    return v.empty() ? def : std::strtoll(v.c_str(), nullptr, 10);
+  }
+
+ private:
+  std::vector<std::string> args_;
+};
+
+}  // namespace pagoda::harness

@@ -1,0 +1,343 @@
+#include "pagoda/master_kernel.h"
+
+#include <algorithm>
+#include <bit>
+#include <utility>
+
+#include "common/check.h"
+
+namespace pagoda::runtime {
+
+std::int32_t MasterKernel::arena_bytes_for(const gpu::GpuSpec& spec) {
+  const auto third =
+      static_cast<std::uint32_t>(spec.shared_mem_per_smm / 3);
+  return static_cast<std::int32_t>(std::bit_floor(third));
+}
+
+MasterKernel::MasterKernel(gpu::Device& dev, TaskTable& gpu_table,
+                           const PagodaConfig& cfg)
+    : dev_(dev),
+      gpu_table_(gpu_table),
+      cfg_(cfg),
+      arena_bytes_(arena_bytes_for(dev.spec())) {
+  PAGODA_CHECK_MSG(gpu_table.columns() ==
+                       dev.num_smms() * kMtbsPerSmm,
+                   "TaskTable must have one column per MTB");
+}
+
+MasterKernel::~MasterKernel() {
+  if (running_) shutdown();
+}
+
+sim::Duration MasterKernel::stall_to_time(double cycles) const {
+  return static_cast<sim::Duration>(cycles * 1e12 / dev_.spec().clock_hz);
+}
+
+void MasterKernel::touch_busy(int delta) {
+  const sim::Time now = dev_.sim().now();
+  busy_integral_ += static_cast<double>(busy_warps_) *
+                    sim::to_seconds(now - busy_last_touch_);
+  busy_last_touch_ = now;
+  busy_warps_ += delta;
+}
+
+double MasterKernel::executor_busy_warp_seconds() const {
+  const_cast<MasterKernel*>(this)->touch_busy(0);
+  return busy_integral_;
+}
+
+void MasterKernel::start() {
+  PAGODA_CHECK_MSG(!started_, "MasterKernel started twice");
+  started_ = true;
+  running_ = true;
+  const gpu::BlockFootprint mtb_footprint =
+      gpu::BlockFootprint::of(/*threads_per_block=*/kWarpsPerMtb * 32,
+                              /*regs_per_thread=*/32, arena_bytes_);
+  const int num_mtbs = dev_.num_smms() * kMtbsPerSmm;
+  mtbs_.reserve(static_cast<std::size_t>(num_mtbs));
+  for (int m = 0; m < num_mtbs; ++m) {
+    auto mtb = std::make_unique<Mtb>(dev_.sim(), cfg_.rows_per_column,
+                                     arena_bytes_);
+    mtb->index = m;
+    mtb->column = m;
+    mtb->smm = &dev_.smm(m / kMtbsPerSmm);
+    PAGODA_CHECK_MSG(mtb->smm->can_fit(mtb_footprint),
+                     "GPU cannot host the MasterKernel (resources busy?)");
+    mtb->smm->reserve(mtb_footprint);
+    mtbs_.push_back(std::move(mtb));
+  }
+  for (auto& mtb : mtbs_) {
+    dev_.sim().spawn(scheduler_warp(*mtb));
+    for (int s = 0; s < kExecutorWarps; ++s) {
+      dev_.sim().spawn(executor_warp(*mtb, s));
+    }
+  }
+}
+
+void MasterKernel::shutdown() {
+  if (!running_) return;
+  running_ = false;
+  const gpu::BlockFootprint mtb_footprint =
+      gpu::BlockFootprint::of(kWarpsPerMtb * 32, 32, arena_bytes_);
+  for (auto& mtb : mtbs_) {
+    // Wake every parked warp so its process observes running_ == false and
+    // returns; anything still parked is reclaimed by the Condition dtors.
+    wake_scheduler(*mtb);
+    mtb->exec_cv.notify_all();
+    mtb->smm->release(mtb_footprint);
+  }
+}
+
+void MasterKernel::on_entry_copied(TaskId id) {
+  if (!running_) return;
+  trace(TraceKind::kEntryCopied, id);
+  wake_scheduler(mtb_of_column(gpu_table_.column_of(id)));
+  if (const auto it = waiting_successor_column_.find(id);
+      it != waiting_successor_column_.end()) {
+    const int col = it->second;
+    waiting_successor_column_.erase(it);
+    wake_scheduler(mtb_of_column(col));
+  }
+}
+
+// --- scheduler warp (Algorithm 1, lines 2-28) -------------------------------
+
+sim::Process MasterKernel::scheduler_warp(Mtb& mtb) {
+  while (running_) {
+    const std::uint64_t seq = mtb.sched_seq;
+    const bool progress = co_await scan_once(mtb);
+    if (!running_) break;
+    if (!progress && mtb.sched_seq == seq) {
+      co_await mtb.sched_cv.wait();
+    }
+  }
+}
+
+sim::Task<bool> MasterKernel::scan_once(Mtb& mtb) {
+  bool progress = false;
+  // Cost of one pass over the column: the scheduler warp's 32 threads scan
+  // the 32 rows in parallel.
+  co_await mtb.smm->execute(cfg_.scan_pass_cycles);
+  for (int row = 0; row < cfg_.rows_per_column && running_; ++row) {
+    TaskEntry& entry = gpu_table_.at(mtb.column, row);
+
+    // Lines 5-13: a ready field holding a taskId releases the *previous*
+    // task — its parameters are known complete because its copy transaction
+    // preceded this entry's on the stream.
+    if (entry.ready > kReadyScheduling) {
+      const TaskId prev_id = entry.ready;
+      TaskEntry& prev = gpu_table_.by_id(prev_id);
+      if (prev.ready == kReadyParamsCopied) {
+        co_await mtb.smm->execute(cfg_.release_chain_cycles);
+        prev.ready = kReadyScheduling;
+        prev.sched = 1;
+        entry.ready = kReadyParamsCopied;
+        entry.sched = 0;
+        trace(TraceKind::kReleased, prev_id, mtb.column);
+        // prev may live in another MTB's column: wake its scheduler warp.
+        wake_scheduler(mtb_of_column(gpu_table_.column_of(prev_id)));
+        // This entry just reached (-1, 0); its own successor (if already
+        // copied) can now be processed.
+        const TaskId my_id = gpu_table_.id_of(mtb.column, row);
+        if (const auto it = waiting_successor_column_.find(my_id);
+            it != waiting_successor_column_.end()) {
+          const int col = it->second;
+          waiting_successor_column_.erase(it);
+          wake_scheduler(mtb_of_column(col));
+        }
+        progress = true;
+      } else {
+        // The previous task is not yet in (-1, 0): the paper's polling
+        // scheduler retries (threadfence + continue); register for a wake
+        // when it transitions.
+        waiting_successor_column_[prev_id] = mtb.column;
+      }
+    }
+
+    // Lines 14-28: claim an entry whose sched flag is set.
+    if (entry.sched == 1) {
+      entry.sched = 0;
+      trace(TraceKind::kScheduled, gpu_table_.id_of(mtb.column, row),
+            mtb.column);
+      co_await schedule_entry(mtb, row);
+      progress = true;
+    }
+  }
+  co_return progress;
+}
+
+sim::Task<> MasterKernel::schedule_entry(Mtb& mtb, int row) {
+  TaskEntry& entry = gpu_table_.at(mtb.column, row);
+  const TaskParams& p = entry.params;
+  PAGODA_CHECK_MSG(p.fn != nullptr, "scheduling an entry without a kernel");
+  mtb.done_ctr[static_cast<std::size_t>(row)] = p.warps_total();
+  tasks_scheduled_ += 1;
+
+  if (p.shared_mem_bytes > 0 || p.needs_sync) {
+    // Lines 17-26: per-threadblock scheduling with barrier/shared-memory
+    // leases.
+    for (int j = 0; j < p.num_blocks && running_; ++j) {
+      auto block = std::make_shared<BlockState>();
+      block->warps_remaining = p.warps_per_block();
+      if (p.needs_sync) {
+        // getBarId(): lease a named barrier, waiting for one to recycle if
+        // all 16 are in use.
+        while (running_ && !mtb.barriers.has_free()) {
+          const std::uint64_t seq = mtb.sched_seq;
+          if (mtb.sched_seq == seq) co_await mtb.sched_cv.wait();
+        }
+        if (!running_) co_return;
+        block->bar_id = mtb.barriers.acquire(p.warps_per_block());
+        co_await mtb.smm->execute(cfg_.barrier_mgmt_cycles);
+      }
+      if (p.shared_mem_bytes > 0) {
+        // Lines 20-24: sweep deferred deallocations, then try to allocate;
+        // block until a marked region frees enough space.
+        while (running_) {
+          if (mtb.shmem.has_deferred()) {
+            shmem_blocks_swept_ += mtb.shmem.sweep_deferred();
+            co_await mtb.smm->execute(cfg_.shmem_sweep_cycles);
+          }
+          const std::uint64_t seq = mtb.sched_seq;
+          const auto offset = mtb.shmem.allocate(p.shared_mem_bytes);
+          co_await mtb.smm->execute(cfg_.shmem_alloc_cycles);
+          if (offset.has_value()) {
+            block->sm_offset = *offset;
+            block->sm_bytes = p.shared_mem_bytes;
+            break;
+          }
+          if (!mtb.shmem.has_deferred() && mtb.sched_seq == seq) {
+            co_await mtb.sched_cv.wait();
+          }
+        }
+        if (!running_) co_return;
+      }
+      co_await psched(mtb, row, j * p.warps_per_block(), p.warps_per_block(),
+                      block);
+    }
+  } else {
+    // Line 28: no leases needed; place all warps of the task as slots free.
+    co_await psched(mtb, row, 0, p.warps_total(), nullptr);
+  }
+}
+
+sim::Task<> MasterKernel::psched(Mtb& mtb, int row, int base_warp, int count,
+                                 std::shared_ptr<BlockState> block) {
+  int scheduled = 0;
+  while (scheduled < count && running_) {
+    const std::uint64_t seq = mtb.sched_seq;
+    // §6.4 ablation: CUDA-style threadblock-granularity dispatch waits for
+    // the whole block's worth of free executor warps before placing any.
+    // (Tasks wider than one MTB's 31 executors stream in MTB-sized groups —
+    // waiting for more slots than exist would deadlock.)
+    const int group = std::min(count - scheduled, kExecutorWarps);
+    if (cfg_.threadblock_granularity && mtb.free_slots < group) {
+      if (mtb.sched_seq == seq) co_await mtb.sched_cv.wait();
+      continue;
+    }
+    int placed = 0;
+    for (int s = 0; s < kExecutorWarps && scheduled < count; ++s) {
+      WarpSlot& slot = mtb.warp_table[static_cast<std::size_t>(s)];
+      if (slot.exec) continue;
+      slot.warp_id = base_warp + scheduled;
+      slot.entry_row = row;
+      slot.sm_index = block ? block->sm_offset : -1;
+      slot.bar_id = block ? block->bar_id : -1;
+      slot.block = block;
+      slot.exec = true;  // set last: the executor reads fields after this
+      mtb.free_slots -= 1;
+      scheduled += 1;
+      placed += 1;
+      trace(TraceKind::kWarpDispatched, gpu_table_.id_of(mtb.column, row), s);
+    }
+    if (placed > 0) {
+      warps_dispatched_ += placed;
+      co_await mtb.smm->execute(cfg_.dispatch_cycles_per_warp * placed);
+      mtb.exec_cv.notify_all();
+      continue;
+    }
+    // No free executor warps: block until one frees (Algorithm 2's outer
+    // while loop — the scheduler warp is busy on this task meanwhile).
+    if (mtb.sched_seq == seq) co_await mtb.sched_cv.wait();
+  }
+}
+
+// --- executor warps (Algorithm 1, lines 29-43) -------------------------------
+
+sim::Process MasterKernel::executor_warp(Mtb& mtb, int slot_index) {
+  WarpSlot& slot = mtb.warp_table[static_cast<std::size_t>(slot_index)];
+  while (running_) {
+    if (!slot.exec) {
+      co_await mtb.exec_cv.wait();
+      continue;
+    }
+    TaskEntry& entry = gpu_table_.at(mtb.column, slot.entry_row);
+    const TaskParams& p = entry.params;
+    touch_busy(+1);
+
+    gpu::WarpCtx ctx;
+    ctx.warp_in_task = slot.warp_id;
+    ctx.block_index = slot.warp_id / p.warps_per_block();
+    ctx.warp_in_block = slot.warp_id % p.warps_per_block();
+    ctx.threads_per_block = p.threads_per_block;
+    ctx.num_blocks = p.num_blocks;
+    ctx.mode = cfg_.mode;
+    ctx.set_costs(cfg_.costs);
+    ctx.args = p.args.data();
+    if (slot.sm_index >= 0 && slot.block && slot.block->sm_bytes > 0) {
+      ctx.shared_mem = std::span<std::byte>(
+          mtb.arena.data() + slot.sm_index,
+          static_cast<std::size_t>(slot.block->sm_bytes));
+    }
+
+    // Line 33: the warp executes the task kernel as a subroutine.
+    gpu::KernelCoro coro = p.fn(ctx);
+    while (true) {
+      const gpu::SegmentResult seg = gpu::run_segment(coro, ctx);
+      if (seg.stall_cycles > 0.0) {
+        co_await dev_.sim().delay(stall_to_time(seg.stall_cycles));
+      }
+      if (seg.cycles > 0.0) co_await mtb.smm->execute(seg.cycles);
+      if (!seg.at_barrier) break;
+      PAGODA_CHECK_MSG(slot.bar_id >= 0,
+                       "syncBlock() in a task spawned without the sync flag");
+      co_await mtb.barriers.barrier(slot.bar_id).arrive_and_wait();
+    }
+
+    // Lines 34-43: completion bookkeeping.
+    std::shared_ptr<BlockState> block = std::move(slot.block);
+    if (block != nullptr) {
+      block->warps_remaining -= 1;
+      if (block->warps_remaining == 0) {  // lastWarpInBlock()
+        if (block->sm_offset >= 0) {
+          mtb.shmem.mark_for_deallocation(block->sm_offset);
+        }
+        if (block->bar_id >= 0) {
+          mtb.barriers.release(block->bar_id);
+        }
+      }
+    }
+    const int row = slot.entry_row;
+    mtb.done_ctr[static_cast<std::size_t>(row)] -= 1;
+    PAGODA_CHECK(mtb.done_ctr[static_cast<std::size_t>(row)] >= 0);
+    if (mtb.done_ctr[static_cast<std::size_t>(row)] == 0) {
+      entry.ready = kReadyFree;  // frees the entry; the CPU learns lazily
+      tasks_completed_ += 1;
+      trace(TraceKind::kCompleted, gpu_table_.id_of(mtb.column, row),
+            mtb.column);
+      if (completion_observer_) {
+        completion_observer_(gpu_table_.id_of(mtb.column, row),
+                             dev_.sim().now());
+      }
+    }
+    touch_busy(-1);
+    slot.exec = false;
+    slot.entry_row = -1;
+    slot.sm_index = -1;
+    slot.bar_id = -1;
+    mtb.free_slots += 1;
+    wake_scheduler(mtb);  // pSched may be waiting for a free warp
+  }
+}
+
+}  // namespace pagoda::runtime

@@ -1,0 +1,213 @@
+// The MasterKernel (paper §4.1): the OS-like daemon kernel that virtualizes
+// the GPU.
+//
+// On the Titan X the MasterKernel launches 48 MTBs (two 32-warp threadblocks
+// per SMM), capping registers at 32/thread and statically allocating 32 KB
+// of shared memory per MTB, so the daemon itself reaches 100% occupancy and
+// owns every warp slot. Warp 0 of each MTB is the *scheduler warp*; the
+// other 31 are *executor warps*.
+//
+// Each MTB owns one TaskTable column, a 31-slot WarpTable, a buddy-managed
+// 32 KB shared-memory arena and a pool of 16 named barriers. The scheduler
+// warp runs Algorithm 1 (lines 2–28): it releases predecessor tasks named by
+// incoming ready fields, claims entries whose sched flag is set, leases
+// barriers/shared memory per threadblock, and places warps onto free
+// executor slots via the parallel pSched routine (Algorithm 2) — blocking,
+// as the paper does, until enough executor warps free up. Executor warps run
+// lines 29–43: execute the task warp (treating the task kernel as a
+// subroutine), mark shared memory for deferred deallocation, release the
+// named barrier, decrement the task's done counter and clear the entry's
+// ready field when the whole task has finished.
+//
+// Simulation notes: the scheduler warp's polling is event-driven — it parks
+// when it has no work and is woken by entry copies, warp frees, deferred
+// deallocations and barrier releases. Its scheduling work *is* charged to
+// the SMM pipeline (contending with executor warps, as on silicon); the idle
+// spin of parked warps is not modeled and its issue-bandwidth cost is folded
+// into the per-pass scan charges.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "gpu/device.h"
+#include "gpu/kernel.h"
+#include "pagoda/named_barriers.h"
+#include "pagoda/shmem_allocator.h"
+#include "pagoda/task_table.h"
+#include "pagoda/trace.h"
+#include "pagoda/warp_table.h"
+#include "sim/process.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace pagoda::runtime {
+
+/// Tunables for the Pagoda runtime; scheduling costs are in GPU cycles and
+/// are charged to the MTB's SMM pipeline.
+struct PagodaConfig {
+  int rows_per_column = 32;              // paper: 32 TaskTable rows per MTB
+  gpu::ExecMode mode = gpu::ExecMode::Compute;
+  const gpu::CostModel* costs = &gpu::kDefaultCostModel;
+
+  /// Host-side polling cadence of wait/waitAll before forcing a copy-back
+  /// (the paper's timeout on lazy TaskTable updates).
+  sim::Duration wait_poll = sim::microseconds(20.0);
+
+  /// Ablation of §6.4: dispatch at threadblock granularity — pSched places a
+  /// threadblock's warps only when enough executor warps are free for ALL of
+  /// them at once (CUDA's hardware rule), instead of streaming warps onto
+  /// executors as they free (Pagoda's warp-granularity scheduling).
+  bool threadblock_granularity = false;
+
+  /// Ablation of §4.2.1: instead of the pipelined single-copy protocol
+  /// (ready field carries the previous task's id), spawn with TWO memcpys —
+  /// one for the parameters, a second for the ready/sched flags once the
+  /// first completes. Doubles the per-task copy overhead, as the paper
+  /// argues.
+  bool two_copy_spawn = false;
+
+  // GPU-side scheduling cost constants (cycles on the SMM pipeline).
+  double scan_pass_cycles = 16.0;          // one scan of the 32-row column
+  double release_chain_cycles = 8.0;       // prev-task release (lines 6-13)
+  double dispatch_cycles_per_warp = 8.0;   // pSched slot claim + fill
+  double shmem_alloc_cycles = 24.0;        // buddy-tree search + marking
+  double shmem_sweep_cycles = 16.0;        // deferred deallocation sweep
+  double barrier_mgmt_cycles = 6.0;        // named barrier lease
+};
+
+class MasterKernel {
+ public:
+  static constexpr int kWarpsPerMtb = 32;      // 1 scheduler + 31 executors
+  static constexpr int kExecutorWarps = 31;
+  static constexpr int kMtbsPerSmm = 2;
+  /// The per-MTB shared-memory arena on the Titan X (96 KB SMM: 2 x 32 KB
+  /// arenas + the remainder for scheduling structures, per §4.1).
+  static constexpr std::int32_t kArenaBytes = 32 * 1024;
+
+  /// Arena size for an arbitrary architecture: the largest power of two
+  /// that leaves ~1/3 of the SMM's shared memory for the two MTBs' own
+  /// scheduling structures (Titan X 96 KB -> 32 KB; Tesla K40 48 KB ->
+  /// 16 KB).
+  static std::int32_t arena_bytes_for(const gpu::GpuSpec& spec);
+
+  MasterKernel(gpu::Device& dev, TaskTable& gpu_table,
+               const PagodaConfig& cfg);
+  ~MasterKernel();
+  MasterKernel(const MasterKernel&) = delete;
+  MasterKernel& operator=(const MasterKernel&) = delete;
+
+  /// Reserves the whole GPU (two 32-warp, 32 KB, 32-reg MTBs per SMM) and
+  /// starts the scheduler/executor warp processes.
+  void start();
+
+  /// Stops all warp processes and releases the GPU.
+  void shutdown();
+
+  bool running() const { return running_; }
+  int num_mtbs() const { return static_cast<int>(mtbs_.size()); }
+
+  /// Signaled by the host runtime when the H2D copy of task `id`'s entry
+  /// lands; wakes that column's scheduler warp (and any scheduler waiting on
+  /// this task as a release predecessor).
+  void on_entry_copied(TaskId id);
+
+  /// Per-MTB shared-memory arena on this device.
+  std::int32_t arena_bytes() const { return arena_bytes_; }
+
+  // --- statistics ---------------------------------------------------------
+  std::int64_t tasks_scheduled() const { return tasks_scheduled_; }
+  std::int64_t tasks_completed() const { return tasks_completed_; }
+  std::int64_t warps_dispatched() const { return warps_dispatched_; }
+  std::int64_t shmem_blocks_swept() const { return shmem_blocks_swept_; }
+
+  /// Observer invoked (GPU-side, at the moment the last warp clears the
+  /// ready field) for every completed task. Instrumentation only.
+  using CompletionObserver = std::function<void(TaskId, sim::Time)>;
+  void set_completion_observer(CompletionObserver obs) {
+    completion_observer_ = std::move(obs);
+  }
+
+  /// Time-integrated busy executor warps (warp·seconds): the achieved
+  /// task-execution occupancy is this / (elapsed * 64 * num_smms).
+  double executor_busy_warp_seconds() const;
+
+  /// Optional event tracing (see pagoda/trace.h). Owned by the caller; must
+  /// outlive the MasterKernel. nullptr disables tracing.
+  void set_trace_recorder(TraceRecorder* trace) { trace_ = trace; }
+
+ private:
+  struct Mtb {
+    int index = 0;
+    int column = 0;  // TaskTable column owned by this MTB (== index)
+    gpu::Smm* smm = nullptr;
+    std::array<WarpSlot, kExecutorWarps> warp_table;
+    int free_slots = kExecutorWarps;
+    std::vector<std::byte> arena;  // backing bytes for the 32 KB shared mem
+    ShmemAllocator shmem;
+    NamedBarrierPool barriers;
+    std::vector<std::int32_t> done_ctr;  // per TaskTable row
+    sim::Condition sched_cv;             // scheduler warp wakeups
+    std::uint64_t sched_seq = 0;         // lost-wakeup guard
+    sim::Condition exec_cv;              // executor warp wakeups
+
+    Mtb(sim::Simulation& sim, int rows, std::int32_t arena_bytes)
+        : arena(static_cast<std::size_t>(arena_bytes)),
+          shmem(arena_bytes),
+          barriers(sim),
+          done_ctr(static_cast<std::size_t>(rows), 0),
+          sched_cv(sim),
+          exec_cv(sim) {}
+  };
+
+  void wake_scheduler(Mtb& mtb) {
+    mtb.sched_seq += 1;
+    mtb.sched_cv.notify_all();
+  }
+  Mtb& mtb_of_column(int column) { return *mtbs_[static_cast<std::size_t>(column)]; }
+  sim::Duration stall_to_time(double cycles) const;
+
+  sim::Process scheduler_warp(Mtb& mtb);
+  sim::Process executor_warp(Mtb& mtb, int slot_index);
+  sim::Task<bool> scan_once(Mtb& mtb);
+  sim::Task<> schedule_entry(Mtb& mtb, int row);
+  sim::Task<> psched(Mtb& mtb, int row, int base_warp, int count,
+                     std::shared_ptr<BlockState> block);
+
+  gpu::Device& dev_;
+  TaskTable& gpu_table_;
+  PagodaConfig cfg_;
+  std::int32_t arena_bytes_;
+  std::vector<std::unique_ptr<Mtb>> mtbs_;
+  bool running_ = false;
+  bool started_ = false;
+
+  /// Release chains are serial in spawn order: entry S carrying ready == P
+  /// cannot be processed until P itself reached (-1, 0). On silicon the
+  /// polling scheduler warp just retries; in the event-driven simulation we
+  /// record "column of S is waiting for P" and wake it when P transitions.
+  /// This replaces polling only — the retry's cycle cost is still charged.
+  std::unordered_map<TaskId, int> waiting_successor_column_;
+
+  std::int64_t tasks_scheduled_ = 0;
+  std::int64_t tasks_completed_ = 0;
+  std::int64_t warps_dispatched_ = 0;
+  std::int64_t shmem_blocks_swept_ = 0;
+  CompletionObserver completion_observer_;
+  TraceRecorder* trace_ = nullptr;
+
+  void trace(TraceKind kind, TaskId task, std::int32_t aux = 0) {
+    if (trace_ != nullptr) trace_->record(dev_.sim().now(), kind, task, aux);
+  }
+
+  void touch_busy(int delta);
+  mutable double busy_integral_ = 0.0;  // warp·seconds
+  int busy_warps_ = 0;
+  mutable sim::Time busy_last_touch_ = 0;
+};
+
+}  // namespace pagoda::runtime

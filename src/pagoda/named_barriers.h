@@ -1,0 +1,62 @@
+// Named-barrier pool for sub-threadblock synchronization (paper §5.2).
+//
+// CUDA's __syncthreads() cannot be used inside the MasterKernel because an
+// MTB may host several unrelated threadblocks; Pagoda instead leases PTX
+// named barriers (bar.sync N) to synchronizing threadblocks. PTX provides 16
+// barrier ids per threadblock, so ids must be recycled when a threadblock
+// finishes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "gpu/barrier.h"
+#include "sim/simulation.h"
+
+namespace pagoda::runtime {
+
+class NamedBarrierPool {
+ public:
+  static constexpr int kNumBarriers = 16;  // PTX bar.sync id space
+
+  explicit NamedBarrierPool(sim::Simulation& sim) {
+    for (int i = 0; i < kNumBarriers; ++i) {
+      barriers_[static_cast<std::size_t>(i)] =
+          std::make_unique<gpu::BlockBarrier>(sim);
+      free_ids_.push_back(kNumBarriers - 1 - i);  // pop from the back: id 0 first
+    }
+  }
+
+  bool has_free() const { return !free_ids_.empty(); }
+  int free_count() const { return static_cast<int>(free_ids_.size()); }
+
+  /// Leases a barrier id for a threadblock of `participants` warps.
+  /// Precondition: has_free().
+  int acquire(int participants) {
+    PAGODA_CHECK_MSG(has_free(), "named barrier pool exhausted");
+    const int id = free_ids_.back();
+    free_ids_.pop_back();
+    barriers_[static_cast<std::size_t>(id)]->reset(participants);
+    return id;
+  }
+
+  /// Returns a barrier id to the pool (last warp of the block).
+  void release(int id) {
+    PAGODA_CHECK(id >= 0 && id < kNumBarriers);
+    free_ids_.push_back(id);
+  }
+
+  gpu::BlockBarrier& barrier(int id) {
+    PAGODA_CHECK(id >= 0 && id < kNumBarriers);
+    return *barriers_[static_cast<std::size_t>(id)];
+  }
+
+ private:
+  std::array<std::unique_ptr<gpu::BlockBarrier>, kNumBarriers> barriers_;
+  std::vector<int> free_ids_;
+};
+
+}  // namespace pagoda::runtime

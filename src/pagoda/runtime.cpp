@@ -1,0 +1,264 @@
+#include "pagoda/runtime.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
+
+namespace pagoda::runtime {
+
+Runtime::Runtime(gpu::Device& dev, host::HostCosts host_costs,
+                 PagodaConfig cfg)
+    : dev_(dev),
+      hc_(host_costs),
+      cfg_(cfg),
+      cpu_table_(dev.num_smms() * MasterKernel::kMtbsPerSmm,
+                 cfg.rows_per_column),
+      gpu_table_(dev.num_smms() * MasterKernel::kMtbsPerSmm,
+                 cfg.rows_per_column),
+      generation_(static_cast<std::size_t>(cpu_table_.size()), 0),
+      mk_(dev, gpu_table_, cfg_),
+      table_stream_(dev),
+      spawn_lock_(dev.sim(), 1),
+      staging_(static_cast<std::size_t>(cpu_table_.size())) {}
+
+Runtime::~Runtime() { shutdown(); }
+
+void Runtime::start() { mk_.start(); }
+
+void Runtime::shutdown() { mk_.shutdown(); }
+
+void Runtime::validate(const TaskParams& p, const gpu::GpuSpec& spec) {
+  PAGODA_CHECK_MSG(p.fn != nullptr, "taskSpawn: null kernel pointer");
+  PAGODA_CHECK_MSG(p.num_blocks >= 1, "taskSpawn: need at least 1 threadblock");
+  PAGODA_CHECK_MSG(
+      p.threads_per_block >= 1 &&
+          p.threads_per_block <= spec.max_threads_per_block,
+      "taskSpawn: threads per block out of range");
+  PAGODA_CHECK_MSG(p.shared_mem_bytes >= 0 &&
+                       p.shared_mem_bytes <=
+                           MasterKernel::arena_bytes_for(spec),
+                   "taskSpawn: shared memory exceeds the MTB arena");
+  PAGODA_CHECK_MSG(
+      !p.needs_sync ||
+          p.warps_per_block() <= MasterKernel::kExecutorWarps,
+      "taskSpawn: a synchronizing threadblock needs all its warps resident "
+      "in one MTB (max 31 warps = 992 threads)");
+  PAGODA_CHECK_MSG(p.args_size >= 0 &&
+                       p.args_size <= static_cast<std::int32_t>(kMaxArgBytes),
+                   "taskSpawn: argument blob too large");
+}
+
+int Runtime::scan_cpu_for_free() {
+  // Walk entries round-robin across *columns* first: consecutive spawns land
+  // in different MTBs, so their scheduler warps work concurrently (§4.3).
+  const int n = cpu_table_.size();
+  const int cols = cpu_table_.columns();
+  const int rows = cpu_table_.rows();
+  for (int step = 0; step < n; ++step) {
+    const int pos = (cursor_ + step) % n;
+    const int col = pos % cols;
+    const int row = pos / cols;
+    const int idx = col * rows + row;
+    const TaskId id = static_cast<TaskId>(idx) + kFirstTaskId;
+    if (cpu_table_.by_id(id).ready == kReadyFree) {
+      cursor_ = (pos + 1) % n;
+      return idx;
+    }
+  }
+  return -1;
+}
+
+sim::Task<TaskHandle> Runtime::task_spawn(TaskParams params) {
+  validate(params, dev_.spec());
+  PAGODA_CHECK_MSG(mk_.running(), "taskSpawn before Runtime::start()");
+  // Host-side costs paid outside the critical section so spawner threads
+  // overlap: entry search/fill bookkeeping plus the cudaMemcpyAsync setup
+  // for the entry copy issued below.
+  co_await sim().delay(hc_.task_spawn_fill + hc_.memcpy_setup);
+
+  co_await spawn_lock_.acquire();
+  int idx = scan_cpu_for_free();
+  while (idx < 0) {
+    // All CPU-side ready fields are non-zero: lazy aggregate copy-back
+    // (§4.2, "Lazy Aggregate TaskTable Updates").
+    co_await flush_last_locked();
+    co_await copy_back_all_locked();
+    idx = scan_cpu_for_free();
+    if (idx < 0) co_await sim().delay(cfg_.wait_poll);
+  }
+
+  const TaskId id = static_cast<TaskId>(idx) + kFirstTaskId;
+  TaskEntry& entry = cpu_table_.by_id(id);
+  entry.params = params;
+  entry.sched = 0;
+  generation_[static_cast<std::size_t>(idx)] += 1;
+  const std::uint64_t gen = generation_[static_cast<std::size_t>(idx)];
+  stats_.tasks_spawned += 1;
+  trace(TraceKind::kSpawned, id);
+
+  if (cfg_.two_copy_spawn) {
+    // §4.2.1 ablation: copy the parameters, then (stream-ordered, so the
+    // parameters are guaranteed to land first) a second transaction sets
+    // the task schedulable. Two memcpys per task instead of one.
+    entry.ready = kReadyParamsCopied;
+    co_await copy_entry_to_gpu_locked(id);
+    entry.ready = kReadyScheduling;
+    entry.sched = 1;
+    co_await sim().delay(hc_.memcpy_setup);
+    co_await copy_entry_to_gpu_locked(id);
+  } else {
+    entry.ready = last_spawned_.has_value() ? *last_spawned_
+                                            : kReadyParamsCopied;
+    last_spawned_ = id;
+    co_await copy_entry_to_gpu_locked(id);
+  }
+  spawn_lock_.release();
+  co_return TaskHandle{id, gen};
+}
+
+sim::Task<> Runtime::copy_entry_to_gpu_locked(TaskId id) {
+  // One cudaMemcpyAsync per spawned task (steady state) on the spawn
+  // stream; stream order is what makes the ready-field pipelining sound.
+  // (The host-side setup cost is charged by the caller, outside the lock
+  // where possible.) The entry is snapshotted per transaction — pageable
+  // cudaMemcpyAsync staging semantics — so a later host-side update of the
+  // same entry (e.g. the two-copy ablation's flag write, or a flush) cannot
+  // retroactively change bytes of a copy already in flight.
+  TaskEntry* dst = &gpu_table_.by_id(id);
+  auto snapshot = std::make_shared<TaskEntry>(cpu_table_.by_id(id));
+  table_stream_.memcpy_async(pcie::Direction::HostToDevice, dst,
+                             snapshot.get(), kEntryCopyBytes,
+                             [this, id, snapshot] { mk_.on_entry_copied(id); });
+  stats_.entry_copies += 1;
+  co_return;
+}
+
+sim::Task<> Runtime::flush_last_locked() {
+  // Single attempt: read the last task's GPU state; if (-1, 0) — parameters
+  // landed, not yet released — release it by writing (1, 1).
+  if (!last_spawned_.has_value()) co_return;
+  const TaskId id = *last_spawned_;
+  co_await copy_back_entry_locked(id);
+  const std::size_t idx = static_cast<std::size_t>(id - kFirstTaskId);
+  if (staging_[idx].ready == kReadyParamsCopied && staging_[idx].sched == 0) {
+    TaskEntry& entry = cpu_table_.by_id(id);
+    entry.ready = kReadyScheduling;
+    entry.sched = 1;
+    last_spawned_.reset();
+    stats_.flushes += 1;
+    trace(TraceKind::kFlushed, id);
+    co_await sim().delay(hc_.memcpy_setup);
+    co_await copy_entry_to_gpu_locked(id);
+  }
+  // Any other state: the entry's own H2D copy has not landed yet, or a
+  // successor released it already; retry on the caller's next poll.
+}
+
+sim::Task<> Runtime::copy_back_all_locked() {
+  stats_.aggregate_copybacks += 1;
+  const std::vector<std::uint64_t> gens = generation_;
+  co_await sim().delay(hc_.memcpy_setup);
+  auto trig = std::make_shared<sim::Trigger>(sim());
+  table_stream_.memcpy_async(
+      pcie::Direction::DeviceToHost, staging_.data(), &gpu_table_.by_id(kFirstTaskId),
+      staging_.size() * sizeof(TaskEntry), [trig] { trig->fire(); });
+  co_await trig->wait();
+  // Apply: only transitions to Free, and only for entries the host did not
+  // re-spawn into while the copy was in flight.
+  for (int idx = 0; idx < cpu_table_.size(); ++idx) {
+    const auto u = static_cast<std::size_t>(idx);
+    if (gens[u] != generation_[u]) continue;
+    TaskEntry& ce = cpu_table_.by_id(static_cast<TaskId>(idx) + kFirstTaskId);
+    if (ce.ready != kReadyFree && staging_[u].ready == kReadyFree) {
+      ce.ready = kReadyFree;
+      trace(TraceKind::kCopyBack, static_cast<TaskId>(idx) + kFirstTaskId);
+    }
+  }
+}
+
+sim::Task<> Runtime::copy_back_entry_locked(TaskId id) {
+  stats_.single_copybacks += 1;
+  const std::size_t idx = static_cast<std::size_t>(id - kFirstTaskId);
+  const std::uint64_t gen = generation_[idx];
+  co_await sim().delay(hc_.memcpy_setup);
+  auto trig = std::make_shared<sim::Trigger>(sim());
+  table_stream_.memcpy_async(pcie::Direction::DeviceToHost, &staging_[idx],
+                                &gpu_table_.by_id(id), sizeof(TaskEntry),
+                                [trig] { trig->fire(); });
+  co_await trig->wait();
+  if (gen == generation_[idx] && staging_[idx].ready == kReadyFree) {
+    TaskEntry& ce = cpu_table_.by_id(id);
+    if (ce.ready != kReadyFree) {
+      ce.ready = kReadyFree;
+      trace(TraceKind::kCopyBack, id);
+    }
+  }
+}
+
+bool Runtime::is_done_cpu_view(const TaskHandle& h) const {
+  PAGODA_CHECK(cpu_table_.valid_id(h.id));
+  const std::size_t idx = static_cast<std::size_t>(h.id - kFirstTaskId);
+  if (generation_[idx] != h.generation) return true;  // entry recycled
+  return cpu_table_.by_id(h.id).ready == kReadyFree;
+}
+
+bool Runtime::check(const TaskHandle& h) const { return is_done_cpu_view(h); }
+
+sim::Task<> Runtime::wait(TaskHandle h) {
+  while (true) {
+    co_await sim().delay(hc_.event_query);
+    if (is_done_cpu_view(h)) co_return;
+    // Timeout path: flush the last task (it may be the one waited on) and
+    // force a copy-back of the involved entry.
+    co_await spawn_lock_.acquire();
+    co_await flush_last_locked();
+    co_await copy_back_entry_locked(h.id);
+    spawn_lock_.release();
+    if (is_done_cpu_view(h)) co_return;
+    co_await sim().delay(cfg_.wait_poll);
+  }
+}
+
+sim::Task<std::size_t> Runtime::wait_any(std::vector<TaskHandle> handles) {
+  PAGODA_CHECK_MSG(!handles.empty(), "wait_any on an empty handle set");
+  while (true) {
+    co_await sim().delay(hc_.event_query);
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+      if (is_done_cpu_view(handles[i])) co_return i;
+    }
+    // Timeout path, as in wait(): flush the last task and refresh the CPU
+    // view of the whole table (any of the handles may have finished).
+    co_await spawn_lock_.acquire();
+    co_await flush_last_locked();
+    co_await copy_back_all_locked();
+    spawn_lock_.release();
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+      if (is_done_cpu_view(handles[i])) co_return i;
+    }
+    co_await sim().delay(cfg_.wait_poll);
+  }
+}
+
+sim::Task<> Runtime::wait_all() {
+  while (true) {
+    co_await spawn_lock_.acquire();
+    co_await flush_last_locked();
+    co_await copy_back_all_locked();
+    bool all_done = !last_spawned_.has_value();
+    if (all_done) {
+      for (int idx = 0; idx < cpu_table_.size(); ++idx) {
+        if (cpu_table_.by_id(static_cast<TaskId>(idx) + kFirstTaskId).ready !=
+            kReadyFree) {
+          all_done = false;
+          break;
+        }
+      }
+    }
+    spawn_lock_.release();
+    if (all_done) co_return;
+    co_await sim().delay(cfg_.wait_poll);
+  }
+}
+
+}  // namespace pagoda::runtime

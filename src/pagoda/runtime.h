@@ -1,0 +1,152 @@
+// The Pagoda runtime: public host-side API (paper Table 1) plus the
+// CPU half of the TaskTable spawning protocol (§4.2).
+//
+//   CUDA                       Pagoda (this API)
+//   kernel<<<...>>>            task_spawn(params)        -> TaskHandle
+//   cudaEventSynchronize       wait(handle)
+//   cudaEventQuery             check(handle)
+//   cudaDeviceSynchronize      wait_all()
+//   threadIdx                  WarpCtx::tid(lane)     (GPU side)
+//   __syncthreads              co_await ctx.sync_block()
+//   __shared__                 ctx.shared_mem / getSMPtr
+//
+// Host-side protocol highlights, all per the paper:
+//  * task_spawn finds a CPU TaskTable entry with a cleared ready field,
+//    fills the parameters, writes ready = (id of the previously spawned
+//    task, or -1 for the first), clears sched, and issues exactly ONE H2D
+//    entry copy on the spawn stream. The previous task is thereby released
+//    for scheduling only after its parameters are guaranteed complete
+//    (stream ordering), sidestepping PCIe's lack of intra-transaction write
+//    ordering.
+//  * When no free entry exists, the CPU performs a lazy *aggregate*
+//    copy-back of the whole GPU table (one bulk D2H — much better PCIe
+//    efficiency than per-entry reads) to discover finished tasks.
+//  * wait/wait_all poll with a timeout, forcing entry copy-backs, and flush
+//    the last spawned task (set its state to (1,1)) so the final task is
+//    never stranded.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "gpu/device.h"
+#include "gpu/stream.h"
+#include "host/host_api.h"
+#include "pagoda/master_kernel.h"
+#include "pagoda/task_table.h"
+#include "sim/task.h"
+
+namespace pagoda::runtime {
+
+/// Handle returned by task_spawn. The generation disambiguates recycled
+/// TaskTable entries (host-side bookkeeping only; the wire protocol is
+/// unchanged from the paper).
+struct TaskHandle {
+  TaskId id = 0;
+  std::uint64_t generation = 0;
+  bool valid() const { return id >= kFirstTaskId; }
+};
+
+class Runtime {
+ public:
+  struct Stats {
+    std::int64_t tasks_spawned = 0;
+    std::int64_t entry_copies = 0;      // H2D, one per task in steady state
+    std::int64_t aggregate_copybacks = 0;
+    std::int64_t single_copybacks = 0;
+    std::int64_t flushes = 0;
+  };
+
+  Runtime(gpu::Device& dev, host::HostCosts host_costs = {},
+          PagodaConfig cfg = {});
+  ~Runtime();
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Launches the MasterKernel (acquires the whole GPU).
+  void start();
+  /// Terminates the MasterKernel and releases the GPU.
+  void shutdown();
+
+  // --- Table 1: CPU-side API ---------------------------------------------
+  /// Spawns a task; non-blocking w.r.t. task execution, but may wait for a
+  /// free TaskTable entry when all are busy. Call from a host Process:
+  /// `TaskHandle h = co_await rt.task_spawn(params);`
+  sim::Task<TaskHandle> task_spawn(TaskParams params);
+
+  /// Waits until the given task has finished.
+  sim::Task<> wait(TaskHandle h);
+
+  /// Returns the task's status from the CPU-side view (may lag the GPU until
+  /// the next copy-back — the paper's check has the same semantics).
+  bool check(const TaskHandle& h) const;
+
+  /// Waits until every spawned task has finished.
+  sim::Task<> wait_all();
+
+  /// Extension beyond the paper's Table 1: waits until at least one of the
+  /// given tasks has finished; returns the index of a finished handle.
+  /// Useful for work-stealing host loops over heterogeneous task groups.
+  sim::Task<std::size_t> wait_any(std::vector<TaskHandle> handles);
+
+  const Stats& stats() const { return stats_; }
+  const MasterKernel& master_kernel() const { return mk_; }
+
+  /// Instrumentation: invoked at GPU-side completion of every task.
+  void set_completion_observer(MasterKernel::CompletionObserver obs) {
+    mk_.set_completion_observer(std::move(obs));
+  }
+
+  /// Optional event tracing (host + GPU sides). Owned by the caller; must
+  /// outlive the Runtime. nullptr disables tracing.
+  void set_trace_recorder(TraceRecorder* trace) {
+    trace_ = trace;
+    mk_.set_trace_recorder(trace);
+  }
+  gpu::Device& device() { return dev_; }
+  const PagodaConfig& config() const { return cfg_; }
+  const TaskTable& cpu_table() const { return cpu_table_; }
+
+  /// Validation used by task_spawn; exposed for tests.
+  static void validate(const TaskParams& p, const gpu::GpuSpec& spec);
+
+ private:
+  sim::Simulation& sim() { return dev_.sim(); }
+  int scan_cpu_for_free();
+  bool is_done_cpu_view(const TaskHandle& h) const;
+
+  // All *_locked members require spawn_lock_ held.
+  sim::Task<> flush_last_locked();
+  sim::Task<> copy_back_all_locked();
+  sim::Task<> copy_back_entry_locked(TaskId id);
+  sim::Task<> copy_entry_to_gpu_locked(TaskId id);
+
+  gpu::Device& dev_;
+  host::HostCosts hc_;
+  PagodaConfig cfg_;
+  TaskTable cpu_table_;
+  TaskTable gpu_table_;
+  std::vector<std::uint64_t> generation_;
+  MasterKernel mk_;
+  /// All TaskTable traffic (H2D entry copies AND D2H status copy-backs)
+  /// rides one stream. Stream ordering is load-bearing twice over: (a) a
+  /// task's predecessor-release pointer is only valid because the
+  /// predecessor's copy completed earlier on the stream, and (b) a status
+  /// copy-back executes only after every previously issued spawn copy has
+  /// landed — otherwise the CPU could read a stale ready==0 for a task whose
+  /// spawn copy is still in flight and wrongly free its entry.
+  gpu::Stream table_stream_;
+  sim::Semaphore spawn_lock_;    // serializes spawner/waiter critical sections
+  std::optional<TaskId> last_spawned_;  // task awaiting release by successor
+  int cursor_ = 0;
+  Stats stats_;
+  TraceRecorder* trace_ = nullptr;
+
+  void trace(TraceKind kind, TaskId task, std::int32_t aux = 0) {
+    if (trace_ != nullptr) trace_->record(sim().now(), kind, task, aux);
+  }
+  std::vector<TaskEntry> staging_;  // D2H landing area for copy-backs
+};
+
+}  // namespace pagoda::runtime

@@ -1,0 +1,129 @@
+// The TaskTable (paper §4.2): the mirrored CPU/GPU structure through which
+// tasks are spawned.
+//
+// Layout: one column per MTB (MasterKernel threadblock); 32 rows per column.
+// Each entry holds the task descriptor fields of §4.2 — (1) #threadblocks,
+// (2) threads per threadblock, (3) kernel pointer, (4) shared-memory bytes
+// per threadblock, (5) sync flag, (6) task inputs (parameter blob),
+// (7) ready field, (8) sched flag.
+//
+// Ready-field encodings (§4.2.2, Fig 2):
+//    0  — entry free / task finished
+//   -1  — parameters copied, awaiting release by a successor spawn or flush
+//    1  — task is being considered for scheduling on the GPU
+//   >1  — a taskID: the *previous* task (whose parameters are known complete
+//         because its copy transaction preceded this one on the stream) can
+//         be released for scheduling. This indirection is what lets Pagoda
+//         pay exactly one cudaMemcpy per task despite PCIe's lack of
+//         intra-transaction write ordering.
+//
+// The same TaskTable type instantiates both mirrors; the Runtime owns one
+// CPU-side and one GPU-side instance and moves entries between them through
+// the PCIe model.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/check.h"
+#include "gpu/kernel.h"
+
+namespace pagoda::runtime {
+
+/// Task identifier handed back by taskSpawn. Values >= 2 so the encodings
+/// 0 / -1 / 1 of the ready field stay unambiguous.
+using TaskId = std::int32_t;
+inline constexpr TaskId kFirstTaskId = 2;
+
+/// Maximum parameter-blob size copied into a TaskTable entry.
+inline constexpr std::size_t kMaxArgBytes = 192;
+
+/// Ready-field named states.
+inline constexpr std::int32_t kReadyFree = 0;
+inline constexpr std::int32_t kReadyParamsCopied = -1;
+inline constexpr std::int32_t kReadyScheduling = 1;
+
+/// Fields 1–6: what taskSpawn supplies.
+struct TaskParams {
+  gpu::KernelFn fn = nullptr;
+  std::int32_t num_blocks = 1;
+  std::int32_t threads_per_block = 0;
+  std::int32_t shared_mem_bytes = 0;
+  bool needs_sync = false;
+  std::int32_t args_size = 0;
+  alignas(16) std::array<std::byte, kMaxArgBytes> args{};
+
+  int warps_per_block() const { return (threads_per_block + 31) / 32; }
+  int warps_total() const { return warps_per_block() * num_blocks; }
+
+  template <typename T>
+  void set_args(const T& value) {
+    static_assert(sizeof(T) <= kMaxArgBytes,
+                  "kernel arguments exceed the TaskTable parameter blob");
+    static_assert(std::is_trivially_copyable_v<T>);
+    args_size = sizeof(T);
+    std::memcpy(args.data(), &value, sizeof(T));
+  }
+};
+
+/// Fields 1–8: a full TaskTable entry.
+struct TaskEntry {
+  TaskParams params;
+  std::int32_t ready = kReadyFree;
+  std::int32_t sched = 0;
+};
+
+/// The size charged for one entry copy over PCIe.
+inline constexpr std::size_t kEntryCopyBytes = sizeof(TaskEntry);
+
+class TaskTable {
+ public:
+  TaskTable(int columns, int rows)
+      : columns_(columns),
+        rows_(rows),
+        entries_(static_cast<std::size_t>(columns) *
+                 static_cast<std::size_t>(rows)) {
+    PAGODA_CHECK(columns > 0 && rows > 0);
+  }
+
+  int columns() const { return columns_; }
+  int rows() const { return rows_; }
+  int size() const { return columns_ * rows_; }
+
+  TaskEntry& at(int column, int row) {
+    PAGODA_CHECK(column >= 0 && column < columns_ && row >= 0 && row < rows_);
+    return entries_[static_cast<std::size_t>(column) *
+                        static_cast<std::size_t>(rows_) +
+                    static_cast<std::size_t>(row)];
+  }
+  const TaskEntry& at(int column, int row) const {
+    return const_cast<TaskTable*>(this)->at(column, row);
+  }
+
+  /// TaskIds enumerate entries column-major, offset so that every id >= 2.
+  TaskId id_of(int column, int row) const {
+    return static_cast<TaskId>(column * rows_ + row) + kFirstTaskId;
+  }
+  int column_of(TaskId id) const { return (id - kFirstTaskId) / rows_; }
+  int row_of(TaskId id) const { return (id - kFirstTaskId) % rows_; }
+  bool valid_id(TaskId id) const {
+    return id >= kFirstTaskId && id < kFirstTaskId + size();
+  }
+  TaskEntry& by_id(TaskId id) {
+    PAGODA_CHECK_MSG(valid_id(id), "bad task id");
+    return entries_[static_cast<std::size_t>(id - kFirstTaskId)];
+  }
+  const TaskEntry& by_id(TaskId id) const {
+    return const_cast<TaskTable*>(this)->by_id(id);
+  }
+
+ private:
+  int columns_;
+  int rows_;
+  std::vector<TaskEntry> entries_;
+};
+
+}  // namespace pagoda::runtime

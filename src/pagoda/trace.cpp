@@ -1,0 +1,102 @@
+#include "pagoda/trace.h"
+
+#include <ostream>
+#include <unordered_map>
+
+namespace pagoda::runtime {
+
+std::string_view trace_kind_name(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kSpawned: return "spawned";
+    case TraceKind::kEntryCopied: return "entry_copied";
+    case TraceKind::kReleased: return "released";
+    case TraceKind::kScheduled: return "scheduled";
+    case TraceKind::kWarpDispatched: return "warp_dispatched";
+    case TraceKind::kCompleted: return "completed";
+    case TraceKind::kCopyBack: return "copy_back";
+    case TraceKind::kFlushed: return "flushed";
+  }
+  return "?";
+}
+
+std::vector<TraceEvent> TraceRecorder::for_task(TaskId task) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events_) {
+    if (e.task == task) out.push_back(e);
+  }
+  return out;
+}
+
+void TraceRecorder::write_csv(std::ostream& os) const {
+  os << "time_us,kind,task,aux\n";
+  for (const TraceEvent& e : events_) {
+    os << sim::to_microseconds(e.time) << ',' << trace_kind_name(e.kind)
+       << ',' << e.task << ',' << e.aux << '\n';
+  }
+}
+
+void TraceRecorder::write_chrome_trace(std::ostream& os) const {
+  // Chrome trace-event format: JSON array of events. Durations ("X") for
+  // task lifetimes; instants ("i") for protocol steps. Timestamps in us.
+  os << "[";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+  for (const TaskTimeline& t : timelines()) {
+    if (!t.complete()) continue;
+    comma();
+    os << R"({"name":"task )" << t.task << R"(","ph":"X","ts":)"
+       << sim::to_microseconds(t.spawned) << R"(,"dur":)"
+       << sim::to_microseconds(t.completed - t.spawned)
+       << R"(,"pid":0,"tid":)" << t.task << "}";
+  }
+  for (const TraceEvent& e : events_) {
+    comma();
+    os << R"({"name":")" << trace_kind_name(e.kind)
+       << R"(","ph":"i","s":"t","ts":)" << sim::to_microseconds(e.time)
+       << R"(,"pid":0,"tid":)" << e.task << "}";
+  }
+  os << "]\n";
+}
+
+std::vector<TraceRecorder::TaskTimeline> TraceRecorder::timelines() const {
+  std::vector<TaskTimeline> out;
+  // Entry reuse: a new kSpawned on the same TaskId starts a new timeline.
+  std::unordered_map<TaskId, std::size_t> open;
+  for (const TraceEvent& e : events_) {
+    if (e.kind == TraceKind::kSpawned) {
+      TaskTimeline t;
+      t.task = e.task;
+      t.spawned = e.time;
+      open[e.task] = out.size();
+      out.push_back(t);
+      continue;
+    }
+    const auto it = open.find(e.task);
+    if (it == open.end()) continue;
+    TaskTimeline& t = out[it->second];
+    switch (e.kind) {
+      case TraceKind::kEntryCopied:
+        if (t.entry_copied < 0) t.entry_copied = e.time;
+        break;
+      case TraceKind::kReleased:
+      case TraceKind::kFlushed:
+        if (t.released < 0) t.released = e.time;
+        break;
+      case TraceKind::kScheduled:
+        if (t.scheduled < 0) t.scheduled = e.time;
+        break;
+      case TraceKind::kCompleted:
+        t.completed = e.time;
+        open.erase(it);
+        break;
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace pagoda::runtime

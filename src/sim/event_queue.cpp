@@ -1,0 +1,42 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace pagoda::sim {
+
+EventId EventQueue::schedule(Time at, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{at, id, std::move(fn)});
+  pending_.insert(id);
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  // An entry is live iff its id is in pending_; cancelled entries stay in the
+  // heap until they bubble to the top, where skim() drops them.
+  return pending_.erase(id) > 0;
+}
+
+void EventQueue::skim() {
+  while (!heap_.empty() && !pending_.contains(heap_.top().id)) {
+    heap_.pop();
+  }
+}
+
+Time EventQueue::next_time() const {
+  const_cast<EventQueue*>(this)->skim();
+  return heap_.empty() ? kTimeMax : heap_.top().at;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  skim();
+  PAGODA_CHECK_MSG(!heap_.empty(), "pop on empty queue");
+  Entry e = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  pending_.erase(e.id);
+  return Popped{e.at, std::move(e.fn)};
+}
+
+}  // namespace pagoda::sim

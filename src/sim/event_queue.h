@@ -1,0 +1,65 @@
+// Time-ordered event queue with stable FIFO ordering and cancellation.
+//
+// Events scheduled at the same timestamp fire in schedule order (FIFO), which
+// makes simulations deterministic and lets protocol code rely on "signal then
+// observe" sequencing within a timestep.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/time_types.h"
+
+namespace pagoda::sim {
+
+/// Handle to a scheduled event, usable for cancellation. Id 0 is never issued.
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  EventId schedule(Time at, std::function<void()> fn);
+
+  /// Cancels a pending event. Returns true if the event was still pending;
+  /// cancelling an already-fired or unknown id is a harmless no-op returning
+  /// false (this is the convenient semantics for timeout races).
+  bool cancel(EventId id);
+
+  bool empty() const { return pending_.empty(); }
+  std::size_t size() const { return pending_.size(); }
+
+  /// Time of the earliest pending event; kTimeMax when empty.
+  Time next_time() const;
+
+  struct Popped {
+    Time at;
+    std::function<void()> fn;
+  };
+
+  /// Pops the earliest event without running it — the caller advances the
+  /// clock first so the callback observes the correct current time.
+  /// Precondition: !empty().
+  Popped pop();
+
+ private:
+  struct Entry {
+    Time at;
+    EventId id;  // monotonically increasing => FIFO tie-break
+    std::function<void()> fn;
+    bool operator>(const Entry& o) const {
+      if (at != o.at) return at > o.at;
+      return id > o.id;
+    }
+  };
+
+  /// Drops cancelled entries from the top of the heap.
+  void skim();
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_set<EventId> pending_;  // ids scheduled and not yet fired/cancelled
+  EventId next_id_ = 1;
+};
+
+}  // namespace pagoda::sim

@@ -1,0 +1,95 @@
+#include "sim/ps_resource.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+
+namespace pagoda::sim {
+
+namespace {
+// Tolerance (in work units) when matching completions against virtual time;
+// absorbs floating-point drift from incremental V updates.
+constexpr double kWorkEpsilon = 1e-6;
+}  // namespace
+
+PsResource::PsResource(Simulation& sim, double capacity, double max_job_rate)
+    : sim_(&sim), capacity_(capacity), max_job_rate_(max_job_rate) {
+  PAGODA_CHECK(capacity > 0.0);
+  PAGODA_CHECK(max_job_rate > 0.0);
+  last_update_ = sim.now();
+}
+
+double PsResource::current_rate() const {
+  const auto n = static_cast<double>(heap_.size());
+  if (n == 0.0) return 0.0;
+  return std::min(max_job_rate_, capacity_ / n);
+}
+
+void PsResource::advance_virtual_time() {
+  const Time now = sim_->now();
+  if (now == last_update_) return;
+  const double dt = to_seconds(now - last_update_);
+  const double n = static_cast<double>(heap_.size());
+  const double rate = current_rate();
+  virtual_time_ += rate * dt;
+  busy_integral_ += std::min(capacity_, n * max_job_rate_) * dt;
+  job_integral_ += n * dt;
+  last_update_ = now;
+}
+
+void PsResource::submit(double work, std::function<void()> on_done) {
+  PAGODA_CHECK(work >= 0.0);
+  if (work == 0.0) {
+    sim_->defer(std::move(on_done));
+    return;
+  }
+  advance_virtual_time();
+  heap_.push(Job{virtual_time_ + work, next_seq_++, std::move(on_done)});
+  reschedule_completion();
+}
+
+void PsResource::reschedule_completion() {
+  if (completion_event_ != 0) {
+    sim_->cancel(completion_event_);
+    completion_event_ = 0;
+  }
+  if (heap_.empty()) return;
+  const double rate = current_rate();
+  PAGODA_CHECK(rate > 0.0);
+  const double remaining_work =
+      std::max(0.0, heap_.top().finish_v - virtual_time_);
+  const double dt_seconds = remaining_work / rate;
+  const auto dt = static_cast<Duration>(std::ceil(dt_seconds * 1e12));
+  completion_event_ = sim_->after(dt, [this] { on_completion_event(); });
+}
+
+void PsResource::on_completion_event() {
+  completion_event_ = 0;
+  advance_virtual_time();
+  // Pop every job whose service is complete (ties complete together, e.g.,
+  // equal-work jobs submitted at the same instant).
+  std::vector<std::function<void()>> done;
+  while (!heap_.empty() &&
+         heap_.top().finish_v <= virtual_time_ + kWorkEpsilon) {
+    done.push_back(std::move(const_cast<Job&>(heap_.top()).on_done));
+    heap_.pop();
+  }
+  // Integer-time rounding can fire the event one tick early, before the top
+  // job's virtual finish time; in that case just re-arm.
+  reschedule_completion();
+  for (auto& fn : done) fn();
+}
+
+double PsResource::busy_work_seconds() const {
+  const_cast<PsResource*>(this)->advance_virtual_time();
+  return busy_integral_;
+}
+
+double PsResource::job_seconds() const {
+  const_cast<PsResource*>(this)->advance_virtual_time();
+  return job_integral_;
+}
+
+}  // namespace pagoda::sim

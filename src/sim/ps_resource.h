@@ -1,0 +1,97 @@
+// Processor-sharing resource with an optional per-job rate cap.
+//
+// Models a server of total capacity C (work-units per second) shared equally
+// among its n active jobs, where each job's service rate is additionally
+// capped at r_max:   rate(t) = min(r_max, C / n(t)).
+//
+// Two instantiations cover the whole reproduction:
+//   * An SMM's issue pipeline: C = 4 warp-instructions/cycle, r_max = 1
+//     (one warp cannot issue faster than one instruction per cycle; four
+//     warp schedulers saturate at >= 4 runnable warps).
+//   * A PCIe direction: C = r_max = link bandwidth (a lone transfer uses the
+//     full link; concurrent transfers share it).
+//
+// Because the rate is identical for every active job, completions can be
+// tracked exactly in "virtual service time" V(t) with dV/dt = rate(t): a job
+// enqueued at V0 with w work units finishes when V = V0 + w. Each membership
+// change advances V and re-schedules the single pending completion event —
+// O(log n) per event via a min-heap on finish-V.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/time_types.h"
+#include "sim/simulation.h"
+
+namespace pagoda::sim {
+
+class PsResource {
+ public:
+  /// capacity and max_job_rate are in work-units per second.
+  PsResource(Simulation& sim, double capacity, double max_job_rate);
+
+  /// Starts a job of `work` units; on_done fires at its completion time.
+  /// Zero-work jobs complete via a deferred event at the current time.
+  void submit(double work, std::function<void()> on_done);
+
+  /// Awaitable form: `co_await res.execute(work);` suspends the calling
+  /// process until the work completes.
+  auto execute(double work) {
+    struct Awaiter {
+      PsResource* res;
+      double work;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        res->submit(work, [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, work};
+  }
+
+  int active_jobs() const { return static_cast<int>(heap_.size()); }
+
+  /// ∫ utilized-capacity dt in work-unit·seconds, where utilized capacity is
+  /// min(C, n·r_max). Used for occupancy/utilization reporting.
+  double busy_work_seconds() const;
+
+  /// ∫ n(t) dt in job·seconds (time-average active jobs = this / elapsed).
+  double job_seconds() const;
+
+  double capacity() const { return capacity_; }
+  double max_job_rate() const { return max_job_rate_; }
+
+ private:
+  struct Job {
+    double finish_v;
+    std::uint64_t seq;  // FIFO tie-break for equal finish_v
+    std::function<void()> on_done;
+    bool operator>(const Job& o) const {
+      if (finish_v != o.finish_v) return finish_v > o.finish_v;
+      return seq > o.seq;
+    }
+  };
+
+  double current_rate() const;  // per-job service rate, work-units/second
+  void advance_virtual_time();
+  void reschedule_completion();
+  void on_completion_event();
+
+  Simulation* sim_;
+  double capacity_;
+  double max_job_rate_;
+
+  std::priority_queue<Job, std::vector<Job>, std::greater<>> heap_;
+  double virtual_time_ = 0.0;  // accumulated per-job service, work-units
+  Time last_update_ = 0;
+  EventId completion_event_ = 0;
+  std::uint64_t next_seq_ = 1;
+
+  double busy_integral_ = 0.0;  // work-unit·seconds of utilized capacity
+  double job_integral_ = 0.0;   // job·seconds
+};
+
+}  // namespace pagoda::sim

@@ -1,0 +1,55 @@
+#include "sim/simulation.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "sim/process.h"
+
+namespace pagoda::sim {
+
+EventId Simulation::at(Time t, std::function<void()> fn) {
+  PAGODA_CHECK_MSG(t >= now_, "cannot schedule events in the past");
+  return queue_.schedule(t, std::move(fn));
+}
+
+EventId Simulation::after(Duration d, std::function<void()> fn) {
+  PAGODA_CHECK_MSG(d >= 0, "negative delay");
+  return queue_.schedule(now_ + d, std::move(fn));
+}
+
+EventId Simulation::defer(std::function<void()> fn) {
+  return queue_.schedule(now_, std::move(fn));
+}
+
+Joinable Simulation::spawn(Process p) {
+  PAGODA_CHECK_MSG(!p.state_->spawned, "process spawned twice");
+  p.state_->sim = this;
+  p.state_->spawned = true;
+  const Process::Handle h = p.handle_;
+  defer([h] { h.resume(); });
+  return Joinable(p.state_);
+}
+
+Time Simulation::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+void Simulation::run_until(Time t) {
+  PAGODA_CHECK(t >= now_);
+  while (queue_.next_time() <= t) {
+    step();
+  }
+  now_ = t;
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  EventQueue::Popped e = queue_.pop();
+  now_ = e.at;
+  e.fn();
+  return true;
+}
+
+}  // namespace pagoda::sim

@@ -1,0 +1,75 @@
+// The simulation kernel: a virtual clock driving the event queue.
+//
+// Everything in the Pagoda reproduction — host CPU threads, PCIe transfers,
+// GPU scheduler warps and executor warps — is a coroutine process advanced by
+// one Simulation instance. The simulation is single-threaded and
+// deterministic: same inputs, same event trace, same timings.
+#pragma once
+
+#include <coroutine>
+#include <functional>
+
+#include "common/time_types.h"
+#include "sim/event_queue.h"
+#include "sim/joinable.h"
+
+namespace pagoda::sim {
+
+class Process;
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  Time now() const { return now_; }
+
+  /// Schedules fn at absolute time t (must be >= now()).
+  EventId at(Time t, std::function<void()> fn);
+
+  /// Schedules fn after duration d (>= 0).
+  EventId after(Duration d, std::function<void()> fn);
+
+  /// Schedules fn at the current time, after already-pending same-time events.
+  EventId defer(std::function<void()> fn);
+
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Starts a coroutine process. The process body begins executing at now()
+  /// (after currently pending same-time events). Returns a handle on which
+  /// other processes can `co_await handle.join()`.
+  Joinable spawn(Process p);
+
+  /// Awaitable: suspends the awaiting process for duration d.
+  /// Usage inside a Process coroutine: `co_await sim.delay(d);`
+  auto delay(Duration d) {
+    struct Awaiter {
+      Simulation* sim;
+      Duration d;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        sim->after(d, [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, d};
+  }
+
+  /// Runs until the event queue drains. Returns the final time.
+  Time run();
+
+  /// Runs events with timestamp <= t, then sets now() = t.
+  void run_until(Time t);
+
+  /// Runs a single event if one exists; returns false when drained.
+  bool step();
+
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  Time now_ = 0;
+  EventQueue queue_;
+};
+
+}  // namespace pagoda::sim

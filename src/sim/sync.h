@@ -1,0 +1,219 @@
+// Virtual-time synchronization primitives for simulation processes.
+//
+//  - Condition: broadcast/one wakeup, with optional timeout (the Pagoda
+//    `wait`/`waitAll` copy-back timeout is built on this).
+//  - Trigger:   one-shot latch; waits complete immediately once fired.
+//  - Semaphore: counting semaphore (used for resource slots like HyperQ's
+//    32 hardware connections).
+//
+// All primitives follow CP.42 ("don't wait without a condition"): waiters of
+// Condition must re-check their predicate in a loop, since wakeups are
+// broadcast-style and a notified waiter resumes at the same virtual time as
+// other activity.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/check.h"
+#include "sim/simulation.h"
+
+namespace pagoda::sim {
+
+class Condition {
+ public:
+  explicit Condition(Simulation& sim) : sim_(&sim) {}
+  Condition(const Condition&) = delete;
+  Condition& operator=(const Condition&) = delete;
+
+  /// Destroys still-parked waiter frames so persistent processes (device
+  /// pumps, scheduler warps) don't leak when a simulation is torn down.
+  ~Condition() {
+    for (Waiter& w : waiters_) {
+      if (w.timeout_event != 0) sim_->cancel(w.timeout_event);
+      w.handle.destroy();
+    }
+  }
+
+  /// Awaitable: park until notify_one/notify_all.
+  auto wait() {
+    struct Awaiter {
+      Condition* cv;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        cv->waiters_.push_back(Waiter{cv->next_id_++, h, 0, nullptr});
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  /// Awaitable: park until notified or until `d` elapses.
+  /// `co_await cv.wait_for(d)` yields true if notified, false on timeout.
+  auto wait_for(Duration d) {
+    struct Awaiter {
+      Condition* cv;
+      Duration d;
+      bool notified = false;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        const std::uint64_t id = cv->next_id_++;
+        const EventId ev = cv->sim_->after(d, [cv = cv, id, h] {
+          cv->drop_waiter(id);
+          h.resume();
+        });
+        cv->waiters_.push_back(Waiter{id, h, ev, &notified});
+      }
+      bool await_resume() const noexcept { return notified; }
+    };
+    return Awaiter{this, d};
+  }
+
+  void notify_all() {
+    std::vector<Waiter> woken;
+    woken.swap(waiters_);
+    wake(woken);
+  }
+
+  void notify_one() {
+    if (waiters_.empty()) return;
+    std::vector<Waiter> woken;
+    woken.push_back(waiters_.front());
+    waiters_.erase(waiters_.begin());
+    wake(woken);
+  }
+
+  std::size_t waiter_count() const { return waiters_.size(); }
+
+ private:
+  struct Waiter {
+    std::uint64_t id;
+    std::coroutine_handle<> handle;
+    EventId timeout_event;     // 0 if untimed
+    bool* notified_flag;       // lives in the suspended awaiter frame
+  };
+
+  void wake(std::vector<Waiter>& woken) {
+    for (Waiter& w : woken) {
+      if (w.timeout_event != 0) sim_->cancel(w.timeout_event);
+      if (w.notified_flag != nullptr) *w.notified_flag = true;
+      sim_->defer([h = w.handle] { h.resume(); });
+    }
+  }
+
+  void drop_waiter(std::uint64_t id) {
+    for (std::size_t i = 0; i < waiters_.size(); ++i) {
+      if (waiters_[i].id == id) {
+        waiters_.erase(waiters_.begin() + static_cast<std::ptrdiff_t>(i));
+        return;
+      }
+    }
+    PAGODA_CHECK_MSG(false, "timeout fired for unknown condition waiter");
+  }
+
+  Simulation* sim_;
+  std::vector<Waiter> waiters_;
+  std::uint64_t next_id_ = 1;
+};
+
+/// One-shot latch. fire() releases all current and future waiters.
+class Trigger {
+ public:
+  explicit Trigger(Simulation& sim) : sim_(&sim) {}
+  Trigger(const Trigger&) = delete;
+  Trigger& operator=(const Trigger&) = delete;
+  ~Trigger() {
+    for (std::coroutine_handle<> h : waiters_) h.destroy();
+  }
+
+  void fire() {
+    if (fired_) return;
+    fired_ = true;
+    for (std::coroutine_handle<> h : waiters_) {
+      sim_->defer([h] { h.resume(); });
+    }
+    waiters_.clear();
+    for (auto& fn : callbacks_) {
+      sim_->defer(std::move(fn));
+    }
+    callbacks_.clear();
+  }
+
+  bool fired() const { return fired_; }
+
+  /// Runs fn (deferred) when the trigger fires; immediately if already fired.
+  void call_on_fire(std::function<void()> fn) {
+    if (fired_) {
+      sim_->defer(std::move(fn));
+    } else {
+      callbacks_.push_back(std::move(fn));
+    }
+  }
+
+  auto wait() {
+    struct Awaiter {
+      Trigger* t;
+      bool await_ready() const noexcept { return t->fired_; }
+      void await_suspend(std::coroutine_handle<> h) { t->waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  Simulation* sim_;
+  bool fired_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+  std::vector<std::function<void()>> callbacks_;
+};
+
+/// Counting semaphore with FIFO grant order.
+class Semaphore {
+ public:
+  Semaphore(Simulation& sim, std::int64_t initial)
+      : sim_(&sim), count_(initial) {
+    PAGODA_CHECK(initial >= 0);
+  }
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+  ~Semaphore() {
+    for (std::coroutine_handle<> h : waiters_) h.destroy();
+  }
+
+  auto acquire() {
+    struct Awaiter {
+      Semaphore* s;
+      bool await_ready() const noexcept {
+        if (s->count_ > 0 && s->waiters_.empty()) {
+          --s->count_;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) { s->waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  void release() {
+    if (!waiters_.empty()) {
+      const std::coroutine_handle<> h = waiters_.front();
+      waiters_.pop_front();
+      sim_->defer([h] { h.resume(); });
+    } else {
+      ++count_;
+    }
+  }
+
+  std::int64_t available() const { return count_; }
+
+ private:
+  Simulation* sim_;
+  std::int64_t count_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace pagoda::sim

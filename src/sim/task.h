@@ -1,0 +1,112 @@
+// Awaitable sub-task coroutine: a lazily-started coroutine that resumes its
+// awaiter on completion (symmetric transfer). Used to write multi-step async
+// API calls (e.g. pagoda::Runtime::task_spawn) that host Processes co_await.
+//
+// Usage:
+//   sim::Task<int> api_call();                // definition uses co_await
+//   sim::Process host() { int r = co_await api_call(); ... }
+//
+// A Task must be awaited exactly once; the frame is destroyed when the Task
+// object (a temporary in the co_await expression, alive until the full
+// expression ends — i.e., past resumption) goes out of scope.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace pagoda::sim {
+
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    std::coroutine_handle<> await_suspend(Handle h) noexcept {
+      std::coroutine_handle<> c = h.promise().continuation;
+      return c ? c : std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+
+  struct PromiseBase {
+    std::coroutine_handle<> continuation;
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void unhandled_exception() { std::terminate(); }
+  };
+
+  struct promise_type : PromiseBase {
+    T value{};
+    Task get_return_object() { return Task(Handle::from_promise(*this)); }
+    void return_value(T v) { value = std::move(v); }
+  };
+
+  Task(Task&& o) noexcept : handle_(std::exchange(o.handle_, {})) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&&) = delete;
+  ~Task() {
+    if (handle_) handle_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) {
+    handle_.promise().continuation = cont;
+    return handle_;  // start the task now
+  }
+  T await_resume() { return std::move(handle_.promise().value); }
+
+ private:
+  explicit Task(Handle h) : handle_(h) {}
+  Handle handle_;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    std::coroutine_handle<> await_suspend(Handle h) noexcept {
+      std::coroutine_handle<> c = h.promise().continuation;
+      return c ? c : std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+
+  struct promise_type {
+    std::coroutine_handle<> continuation;
+    Task get_return_object() { return Task(Handle::from_promise(*this)); }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() { std::terminate(); }
+  };
+
+  Task(Task&& o) noexcept : handle_(std::exchange(o.handle_, {})) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&&) = delete;
+  ~Task() {
+    if (handle_) handle_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) {
+    handle_.promise().continuation = cont;
+    return handle_;
+  }
+  void await_resume() const noexcept {}
+
+ private:
+  explicit Task(Handle h) : handle_(h) {}
+  Handle handle_;
+};
+
+}  // namespace pagoda::sim

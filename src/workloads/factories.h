@@ -1,0 +1,20 @@
+// Internal per-benchmark factory functions (see workload.h::make_workload).
+#pragma once
+
+#include <memory>
+
+#include "workloads/workload.h"
+
+namespace pagoda::workloads {
+
+std::unique_ptr<Workload> make_mandelbrot();
+std::unique_ptr<Workload> make_filterbank();
+std::unique_ptr<Workload> make_beamformer();
+std::unique_ptr<Workload> make_convolution();
+std::unique_ptr<Workload> make_dct8x8();
+std::unique_ptr<Workload> make_matmul();
+std::unique_ptr<Workload> make_sparse_lu();
+std::unique_ptr<Workload> make_triple_des();
+std::unique_ptr<Workload> make_mpe();
+
+}  // namespace pagoda::workloads

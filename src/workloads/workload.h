@@ -1,0 +1,113 @@
+// The benchmark-workload abstraction (paper Tables 3 & 4).
+//
+// A Workload owns its input/output buffers and produces one TaskSpec per
+// narrow task. Runtimes (Pagoda, HyperQ, GeMTC, static fusion, PThreads)
+// consume TaskSpecs uniformly; the harness charges each task's H2D/D2H data
+// volume and the CPU baseline consumes its scalar op count.
+//
+// Execution modes:
+//  * ExecMode::Compute — kernels perform the real math (results verifiable
+//    against the CPU reference via verify()).
+//  * ExecMode::Model   — identical control flow and *identical cycle
+//    charges*, loop bodies elided (used for the 32K-task sweeps).
+// All cycle charges come from analytic formulas evaluated in both modes, so
+// timing is mode-independent by construction (asserted by a test).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gpu/kernel.h"
+#include "pagoda/task_table.h"
+
+namespace pagoda::workloads {
+
+/// Everything a runtime needs to execute one narrow task.
+struct TaskSpec {
+  runtime::TaskParams params;  // kernel fn, dims, shmem, sync flag, args
+  int regs_per_thread = 32;    // native-launch register footprint (Table 3)
+  std::int64_t h2d_bytes = 0;  // per-task input copy volume
+  std::int64_t d2h_bytes = 0;  // per-task output copy volume
+  double cpu_ops = 0.0;        // scalar op count for the PThreads baseline
+  /// Dependency wave (SLUD): tasks of wave w may only spawn after every
+  /// task of wave w-1 finished — the dynamic task structure that batch
+  /// systems cannot express. 0 for independent tasks.
+  int wave = 0;
+};
+
+struct WorkloadConfig {
+  int num_tasks = 1024;
+  int threads_per_task = 128;
+  std::uint64_t seed = 0x9A60DAULL;
+  gpu::ExecMode mode = gpu::ExecMode::Model;
+  /// DCT/MM: build the shared-memory kernel variant (Table 5).
+  bool use_shared_memory = true;
+  /// Fig 9: pseudo-random input sizes per task (irregular workloads).
+  bool irregular_sizes = false;
+  /// Fig 9: pick each task's thread count from its input size (32–256
+  /// threads), as the runtime schemes can but static fusion cannot.
+  bool dynamic_threads = false;
+  /// Fig 7/8: when > 0, overrides the per-task input scale (task "input
+  /// size" such as image width; workload-specific meaning).
+  int input_scale = 0;
+  /// Fig 8: threadblocks per task (total threads = threads_per_task x
+  /// blocks_per_task; the per-task work is redistributed, not multiplied).
+  int blocks_per_task = 1;
+};
+
+struct WorkloadTraits {
+  std::string_view name;
+  bool irregular = false;        // Table 3 "Task Type"
+  bool may_use_shared = false;   // Table 3 "May benefit from shared memory"
+  bool needs_sync = false;       // Table 3 "Requires threadblock sync"
+  int default_registers = 32;    // Table 3 "Default Register Count"
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual WorkloadTraits traits() const = 0;
+
+  /// (Re)builds inputs and task list for the given configuration.
+  virtual void generate(const WorkloadConfig& cfg) = 0;
+
+  virtual std::span<const TaskSpec> tasks() const = 0;
+
+  /// Clears outputs so a second run can be verified independently.
+  virtual void reset_outputs() = 0;
+
+  /// After a Compute-mode run: checks outputs against the CPU reference.
+  /// Returns true when every task's output matches.
+  virtual bool verify() const = 0;
+
+  std::string_view name() const { return traits().name; }
+
+  /// Total data volumes and CPU ops over all tasks (for reporting).
+  std::int64_t total_h2d_bytes() const;
+  std::int64_t total_d2h_bytes() const;
+  double total_cpu_ops() const;
+};
+
+/// Thread count for a task whose input is `size_ratio` times the nominal
+/// size: proportional, warp-granular, clamped to [32, 256] (the Fig 9
+/// dynamic-thread-selection range).
+inline int dynamic_thread_count(int base_threads, double size_ratio) {
+  int t = static_cast<int>(static_cast<double>(base_threads) * size_ratio);
+  t = ((t + 31) / 32) * 32;
+  if (t < 32) t = 32;
+  if (t > 256) t = 256;
+  return t;
+}
+
+/// Factory by benchmark acronym: MB, FB, BF, CONV, DCT, MM, SLUD, 3DES, MPE.
+std::unique_ptr<Workload> make_workload(std::string_view name);
+
+/// All benchmark acronyms in the paper's Figure 5 order.
+std::span<const std::string_view> all_workload_names();
+
+}  // namespace pagoda::workloads

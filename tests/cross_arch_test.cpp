@@ -1,0 +1,75 @@
+// Cross-architecture checks: the paper validated TaskTable behaviour on two
+// GPUs (Maxwell Titan X and Kepler Tesla K40, §4.2.2). The runtime must be
+// parameterized purely by GpuSpec — nothing may hard-code the Titan X.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gpu/device.h"
+#include "gpu/occupancy.h"
+#include "pagoda/runtime.h"
+#include "sim/process.h"
+
+namespace pagoda::runtime {
+namespace {
+
+gpu::KernelCoro mark_kernel(gpu::WarpCtx& ctx) {
+  if (ctx.warp_in_task == 0 && ctx.compute()) {
+    *static_cast<int* const&>(ctx.args_as<int*>()) += 1;
+  }
+  ctx.charge(30.0);
+  ctx.charge_stall(60.0);
+  co_return;
+}
+
+sim::Process spawn_all(Runtime& rt, std::vector<int>& counts, bool& done) {
+  for (auto& c : counts) {
+    TaskParams p;
+    p.fn = mark_kernel;
+    p.threads_per_block = 64;
+    int* ptr = &c;
+    p.set_args(ptr);
+    co_await rt.task_spawn(p);
+  }
+  co_await rt.wait_all();
+  done = true;
+}
+
+class CrossArch : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CrossArch, PagodaRunsToCompletion) {
+  const bool k40 = std::string_view(GetParam()) == "k40";
+  sim::Simulation sim;
+  const gpu::GpuSpec spec =
+      k40 ? gpu::GpuSpec::tesla_k40() : gpu::GpuSpec::titan_x();
+  gpu::Device dev(sim, spec);
+  Runtime rt(dev);
+  rt.start();
+  EXPECT_EQ(rt.master_kernel().num_mtbs(), spec.num_smms * 2);
+  std::vector<int> counts(300, 0);
+  bool done = false;
+  sim.spawn(spawn_all(rt, counts, done));
+  sim.run_until(sim::seconds(5.0));
+  ASSERT_TRUE(done);
+  for (const int c : counts) EXPECT_EQ(c, 1);
+  rt.shutdown();
+}
+
+INSTANTIATE_TEST_SUITE_P(Gpus, CrossArch,
+                         ::testing::Values("titan_x", "k40"),
+                         [](const auto& info) { return std::string(info.param); });
+
+TEST(CrossArch, K40SpecMatchesKepler) {
+  const gpu::GpuSpec k40 = gpu::GpuSpec::tesla_k40();
+  EXPECT_EQ(k40.num_smms, 15);
+  EXPECT_EQ(k40.shared_mem_per_smm, 48 * 1024);
+  EXPECT_EQ(k40.max_blocks_per_smm, 16);
+  // The MasterKernel still fits: 2 MTBs of 32KB shmem need 64KB... which
+  // exceeds the K40's 48KB! On Kepler Pagoda must shrink the per-MTB arena
+  // or run one MTB per SMX; the spec captures the constraint the port hits.
+  const auto mtb = gpu::BlockFootprint::of(1024, 32, 32 * 1024);
+  EXPECT_LT(gpu::max_residency(k40, mtb).blocks_per_smm, 2);
+}
+
+}  // namespace
+}  // namespace pagoda::runtime

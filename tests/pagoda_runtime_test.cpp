@@ -1,0 +1,378 @@
+// End-to-end tests of the Pagoda runtime: the TaskTable spawning protocol,
+// MasterKernel scheduling, shared memory, named barriers, and the public
+// API semantics of paper Table 1.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "gpu/device.h"
+#include "pagoda/runtime.h"
+#include "sim/process.h"
+
+namespace pagoda::runtime {
+namespace {
+
+using gpu::Device;
+using gpu::GpuSpec;
+using gpu::KernelCoro;
+using gpu::WarpCtx;
+using sim::Simulation;
+
+// Writes tid*10+7 into out[tid]; exercises getTid across blocks/warps.
+struct TidArgs {
+  int* out;
+  int n;
+};
+
+KernelCoro tid_kernel(WarpCtx& ctx) {
+  const auto& a = ctx.args_as<TidArgs>();
+  for (int lane = 0; lane < ctx.active_lanes(); ++lane) {
+    const int tid = ctx.tid(lane);
+    if (tid < a.n && ctx.compute()) a.out[tid] = tid * 10 + 7;
+  }
+  ctx.charge(ctx.costs().alu + ctx.costs().global_access);
+  ctx.charge_stall(ctx.costs().global_stall);
+  co_return;
+}
+
+// Block-wide sum via shared memory + syncBlock; out[block] = sum of tids.
+struct ReduceArgs {
+  long long* out;  // one per block
+};
+
+KernelCoro reduce_kernel(WarpCtx& ctx) {
+  auto partials = ctx.shared_as<long long>();
+  const int warps = (ctx.threads_per_block + 31) / 32;
+  if (ctx.compute()) {
+    long long local = 0;
+    for (int lane = 0; lane < ctx.active_lanes(); ++lane) {
+      local += ctx.tid(lane);
+    }
+    partials[static_cast<std::size_t>(ctx.warp_in_block)] = local;
+  }
+  ctx.charge(ctx.costs().alu * 4 + ctx.costs().shared_access);
+  co_await ctx.sync_block();
+  if (ctx.warp_in_block == 0) {
+    if (ctx.compute()) {
+      long long total = 0;
+      for (int w = 0; w < warps; ++w) total += partials[static_cast<std::size_t>(w)];
+      ctx.args_as<ReduceArgs>().out[ctx.block_index] = total;
+    }
+    ctx.charge(ctx.costs().shared_access * warps + ctx.costs().global_access);
+    ctx.charge_stall(ctx.costs().global_stall);
+  }
+  co_return;
+}
+
+TaskParams make_tid_task(int* out, int n, int threads_per_block,
+                         int num_blocks) {
+  TaskParams p;
+  p.fn = tid_kernel;
+  p.threads_per_block = threads_per_block;
+  p.num_blocks = num_blocks;
+  p.set_args(TidArgs{out, n});
+  return p;
+}
+
+// --- single task lifecycle ---------------------------------------------------
+
+sim::Process spawn_one_and_wait(Runtime& rt, TaskParams params, bool use_wait,
+                                bool& completed) {
+  const TaskHandle h = co_await rt.task_spawn(std::move(params));
+  EXPECT_TRUE(h.valid());
+  EXPECT_GE(h.id, kFirstTaskId);  // taskIDs are integers > 1 (paper §3)
+  if (use_wait) {
+    co_await rt.wait(h);
+  } else {
+    co_await rt.wait_all();
+  }
+  EXPECT_TRUE(rt.check(h));
+  completed = true;
+}
+
+class PagodaSingleTask : public ::testing::TestWithParam<bool> {};
+
+TEST_P(PagodaSingleTask, RunsViaFlushPath) {
+  // A lone task has no successor to release it: only the CPU flush path
+  // (copy back, see (-1,0), write (1,1)) can start it.
+  Simulation sim;
+  Device dev(sim, GpuSpec::titan_x());
+  Runtime rt(dev);
+  rt.start();
+  std::vector<int> out(128, -1);
+  bool completed = false;
+  sim.spawn(spawn_one_and_wait(rt, make_tid_task(out.data(), 128, 128, 1),
+                               GetParam(), completed));
+  sim.run_until(sim::milliseconds(50));
+  ASSERT_TRUE(completed);
+  for (int i = 0; i < 128; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i * 10 + 7);
+  EXPECT_EQ(rt.stats().tasks_spawned, 1);
+  EXPECT_EQ(rt.stats().flushes, 1);
+  EXPECT_EQ(rt.master_kernel().tasks_completed(), 1);
+  rt.shutdown();
+}
+
+INSTANTIATE_TEST_SUITE_P(WaitVariants, PagodaSingleTask,
+                         ::testing::Values(true, false));
+
+// --- many tasks: pipelined releases ------------------------------------------
+
+sim::Process spawn_many(Runtime& rt, std::vector<int>& out, int num_tasks,
+                        int threads_per_task, bool& done) {
+  for (int t = 0; t < num_tasks; ++t) {
+    co_await rt.task_spawn(make_tid_task(
+        out.data() + t * threads_per_task, threads_per_task,
+        threads_per_task, 1));
+  }
+  co_await rt.wait_all();
+  done = true;
+}
+
+TEST(PagodaRuntime, ManyTasksAllExecuteExactlyOnce) {
+  Simulation sim;
+  Device dev(sim, GpuSpec::titan_x());
+  Runtime rt(dev);
+  rt.start();
+  constexpr int kTasks = 500;
+  constexpr int kThreads = 96;
+  std::vector<int> out(kTasks * kThreads, -1);
+  bool done = false;
+  sim.spawn(spawn_many(rt, out, kTasks, kThreads, done));
+  sim.run_until(sim::seconds(2.0));
+  ASSERT_TRUE(done);
+  for (int t = 0; t < kTasks; ++t) {
+    for (int i = 0; i < kThreads; ++i) {
+      ASSERT_EQ(out[static_cast<std::size_t>(t * kThreads + i)], i * 10 + 7)
+          << "task " << t << " tid " << i;
+    }
+  }
+  EXPECT_EQ(rt.master_kernel().tasks_completed(), kTasks);
+  // Steady state: one entry copy per task, plus one per flush.
+  EXPECT_EQ(rt.stats().entry_copies,
+            rt.stats().tasks_spawned + rt.stats().flushes);
+  rt.shutdown();
+}
+
+TEST(PagodaRuntime, TableOverflowRecyclesEntries) {
+  // More tasks than TaskTable entries (48 columns x 32 rows = 1536 on the
+  // full Titan X config): forces aggregate copy-backs and entry recycling.
+  Simulation sim;
+  GpuSpec spec = GpuSpec::titan_x();
+  spec.num_smms = 2;  // 4 MTBs x 32 rows = 128 entries
+  Device dev(sim, spec);
+  Runtime rt(dev);
+  rt.start();
+  constexpr int kTasks = 700;
+  constexpr int kThreads = 64;
+  std::vector<int> out(kTasks * kThreads, -1);
+  bool done = false;
+  sim.spawn(spawn_many(rt, out, kTasks, kThreads, done));
+  sim.run_until(sim::seconds(5.0));
+  ASSERT_TRUE(done);
+  EXPECT_EQ(rt.master_kernel().tasks_completed(), kTasks);
+  EXPECT_GT(rt.stats().aggregate_copybacks, 0);
+  for (int t = 0; t < kTasks; ++t) {
+    for (int i = 0; i < kThreads; ++i) {
+      ASSERT_EQ(out[static_cast<std::size_t>(t * kThreads + i)], i * 10 + 7);
+    }
+  }
+  rt.shutdown();
+}
+
+// --- shared memory + syncBlock ------------------------------------------------
+
+sim::Process spawn_reduce_tasks(Runtime& rt, std::vector<long long>& out,
+                                int num_tasks, int threads, int blocks,
+                                bool& done) {
+  for (int t = 0; t < num_tasks; ++t) {
+    TaskParams p;
+    p.fn = reduce_kernel;
+    p.threads_per_block = threads;
+    p.num_blocks = blocks;
+    p.needs_sync = true;
+    p.shared_mem_bytes =
+        static_cast<std::int32_t>(sizeof(long long)) * ((threads + 31) / 32);
+    p.set_args(ReduceArgs{out.data() + t * blocks});
+    co_await rt.task_spawn(p);
+  }
+  co_await rt.wait_all();
+  done = true;
+}
+
+TEST(PagodaRuntime, SharedMemoryReductionAcrossBlocks) {
+  Simulation sim;
+  Device dev(sim, GpuSpec::titan_x());
+  Runtime rt(dev);
+  rt.start();
+  constexpr int kTasks = 100;
+  constexpr int kThreads = 256;
+  constexpr int kBlocks = 3;
+  std::vector<long long> out(kTasks * kBlocks, -1);
+  bool done = false;
+  sim.spawn(spawn_reduce_tasks(rt, out, kTasks, kThreads, kBlocks, done));
+  sim.run_until(sim::seconds(2.0));
+  ASSERT_TRUE(done);
+  // Block b of any task sums tids [b*256, (b+1)*256).
+  for (int t = 0; t < kTasks; ++t) {
+    for (int b = 0; b < kBlocks; ++b) {
+      const long long lo = static_cast<long long>(b) * kThreads;
+      const long long expected = (lo + lo + kThreads - 1) * kThreads / 2;
+      ASSERT_EQ(out[static_cast<std::size_t>(t * kBlocks + b)], expected)
+          << "task " << t << " block " << b;
+    }
+  }
+  EXPECT_GT(rt.master_kernel().shmem_blocks_swept(), 0);
+  rt.shutdown();
+}
+
+TEST(PagodaRuntime, NamedBarrierPoolRecyclesPast16Blocks) {
+  // One MTB has 16 named barriers; a task with 32 synchronizing blocks in
+  // one column forces recycling.
+  Simulation sim;
+  GpuSpec spec = GpuSpec::titan_x();
+  spec.num_smms = 1;
+  Device dev(sim, spec);
+  Runtime rt(dev);
+  rt.start();
+  constexpr int kBlocks = 32;
+  std::vector<long long> out(kBlocks, -1);
+  bool done = false;
+  sim.spawn(spawn_reduce_tasks(rt, out, 1, 64, kBlocks, done));
+  sim.run_until(sim::seconds(2.0));
+  ASSERT_TRUE(done);
+  for (int b = 0; b < kBlocks; ++b) {
+    const long long lo = static_cast<long long>(b) * 64;
+    ASSERT_EQ(out[static_cast<std::size_t>(b)], (lo + lo + 63) * 64 / 2);
+  }
+  rt.shutdown();
+}
+
+TEST(PagodaRuntime, FullArenaTasksSerializePerMtb) {
+  // Tasks requesting the whole 32KB arena cannot share an MTB; they must
+  // still all complete, via deferred deallocation sweeps.
+  Simulation sim;
+  GpuSpec spec = GpuSpec::titan_x();
+  spec.num_smms = 1;  // 2 MTBs
+  Device dev(sim, spec);
+  Runtime rt(dev);
+  rt.start();
+  constexpr int kTasks = 8;
+  std::vector<long long> out(kTasks, -1);
+  bool done = false;
+  // 32KB request with 2 warps per block.
+  struct Spawner {
+    static sim::Process run(Runtime& rt, std::vector<long long>& out,
+                            bool& done) {
+      for (int t = 0; t < kTasks; ++t) {
+        TaskParams p;
+        p.fn = reduce_kernel;
+        p.threads_per_block = 64;
+        p.num_blocks = 1;
+        p.needs_sync = true;
+        p.shared_mem_bytes = 32 * 1024;
+        p.set_args(ReduceArgs{out.data() + t});
+        co_await rt.task_spawn(p);
+      }
+      co_await rt.wait_all();
+      done = true;
+    }
+  };
+  sim.spawn(Spawner::run(rt, out, done));
+  sim.run_until(sim::seconds(2.0));
+  ASSERT_TRUE(done);
+  for (int t = 0; t < kTasks; ++t) {
+    ASSERT_EQ(out[static_cast<std::size_t>(t)], 63 * 64 / 2);
+  }
+  rt.shutdown();
+}
+
+// --- API validation ------------------------------------------------------------
+
+TEST(PagodaRuntime, ValidateRejectsBadParams) {
+  const GpuSpec spec = GpuSpec::titan_x();
+  TaskParams ok;
+  ok.fn = tid_kernel;
+  ok.threads_per_block = 128;
+  Runtime::validate(ok, spec);  // no death
+
+  TaskParams no_fn = ok;
+  no_fn.fn = nullptr;
+  EXPECT_DEATH(Runtime::validate(no_fn, spec), "null kernel");
+
+  TaskParams big_tb = ok;
+  big_tb.threads_per_block = 2048;
+  EXPECT_DEATH(Runtime::validate(big_tb, spec), "threads per block");
+
+  TaskParams big_shm = ok;
+  big_shm.shared_mem_bytes = 64 * 1024;
+  EXPECT_DEATH(Runtime::validate(big_shm, spec), "shared memory");
+
+  TaskParams sync_1024 = ok;
+  sync_1024.threads_per_block = 1024;  // 32 warps > 31 executor warps
+  sync_1024.needs_sync = true;
+  EXPECT_DEATH(Runtime::validate(sync_1024, spec), "synchronizing");
+}
+
+TEST(PagodaRuntime, CheckReflectsCpuViewLag) {
+  // check() reads the CPU mirror: immediately after spawn it must report
+  // not-done even if the GPU finishes, until a copy-back happens.
+  Simulation sim;
+  Device dev(sim, GpuSpec::titan_x());
+  Runtime rt(dev);
+  rt.start();
+  std::vector<int> out(32, -1);
+  struct Body {
+    static sim::Process run(Runtime& rt, std::vector<int>& out, bool& done) {
+      const TaskHandle h =
+          co_await rt.task_spawn(make_tid_task(out.data(), 32, 32, 1));
+      EXPECT_FALSE(rt.check(h));  // nothing copied back yet
+      co_await rt.wait(h);
+      EXPECT_TRUE(rt.check(h));
+      done = true;
+    }
+  };
+  bool done = false;
+  sim.spawn(Body::run(rt, out, done));
+  sim.run_until(sim::milliseconds(50));
+  ASSERT_TRUE(done);
+  rt.shutdown();
+}
+
+// --- TaskTable unit behaviour ---------------------------------------------------
+
+TEST(TaskTable, IdMappingRoundTrips) {
+  TaskTable t(48, 32);
+  EXPECT_EQ(t.size(), 1536);
+  EXPECT_EQ(t.id_of(0, 0), kFirstTaskId);
+  for (int c : {0, 7, 47}) {
+    for (int r : {0, 5, 31}) {
+      const TaskId id = t.id_of(c, r);
+      EXPECT_GE(id, kFirstTaskId);
+      EXPECT_EQ(t.column_of(id), c);
+      EXPECT_EQ(t.row_of(id), r);
+      EXPECT_EQ(&t.by_id(id), &t.at(c, r));
+    }
+  }
+  EXPECT_FALSE(t.valid_id(0));
+  EXPECT_FALSE(t.valid_id(1));
+  EXPECT_TRUE(t.valid_id(kFirstTaskId));
+  EXPECT_FALSE(t.valid_id(kFirstTaskId + t.size()));
+}
+
+TEST(TaskTable, ParamsBlobRoundTrips) {
+  TaskParams p;
+  struct Args {
+    double a;
+    int b;
+  };
+  p.set_args(Args{3.5, 42});
+  EXPECT_EQ(p.args_size, static_cast<std::int32_t>(sizeof(Args)));
+  Args back{};
+  std::memcpy(&back, p.args.data(), sizeof(Args));
+  EXPECT_EQ(back.a, 3.5);
+  EXPECT_EQ(back.b, 42);
+}
+
+}  // namespace
+}  // namespace pagoda::runtime

@@ -1,0 +1,123 @@
+// PCIe model tests: real byte transport, FIFO engine semantics, and the
+// §4.2.1 intra-transaction ordering hazard that motivates the TaskTable's
+// pipelined ready-field protocol.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "pcie/pcie_bus.h"
+#include "sim/simulation.h"
+
+namespace pagoda::pcie {
+namespace {
+
+TEST(PcieBus, CopyMovesRealBytes) {
+  sim::Simulation sim;
+  PcieBus bus(sim, PcieConfig{});
+  std::vector<std::byte> src(1024);
+  std::vector<std::byte> dst(1024);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    src[i] = static_cast<std::byte>(i * 7);
+  }
+  bool done = false;
+  bus.copy(Direction::HostToDevice, dst.data(), src.data(), src.size(),
+           [&] { done = true; });
+  // Bytes must NOT be visible before the transfer completes.
+  EXPECT_NE(std::memcmp(dst.data(), src.data(), src.size()), 0);
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(std::memcmp(dst.data(), src.data(), src.size()), 0);
+}
+
+TEST(PcieBus, NullPointersSkipDataMovement) {
+  sim::Simulation sim;
+  PcieBus bus(sim, PcieConfig{});
+  bool done = false;
+  bus.copy(Direction::DeviceToHost, nullptr, nullptr, 1 << 20,
+           [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);  // timing-only copies still complete
+}
+
+TEST(PcieBus, DirectionsAreIndependentEngines) {
+  sim::Simulation sim;
+  PcieConfig cfg;
+  cfg.bandwidth_bytes_per_sec = 1e9;
+  cfg.latency = 0;
+  cfg.transaction_gap = 0;
+  PcieBus bus(sim, cfg);
+  sim::Time h2d_done = -1;
+  sim::Time d2h_done = -1;
+  bus.copy(Direction::HostToDevice, nullptr, nullptr, 1000,
+           [&] { h2d_done = sim.now(); });
+  bus.copy(Direction::DeviceToHost, nullptr, nullptr, 1000,
+           [&] { d2h_done = sim.now(); });
+  sim.run();
+  // Full duplex: both finish in 1us, not serialized.
+  EXPECT_EQ(h2d_done, sim::microseconds(1));
+  EXPECT_EQ(d2h_done, sim::microseconds(1));
+}
+
+TEST(PcieBus, SameDirectionCopiesServeFifo) {
+  sim::Simulation sim;
+  PcieConfig cfg;
+  cfg.bandwidth_bytes_per_sec = 1e9;
+  cfg.latency = 0;
+  cfg.transaction_gap = 0;
+  PcieBus bus(sim, cfg);
+  std::vector<sim::Time> done;
+  for (int i = 0; i < 3; ++i) {
+    bus.copy(Direction::HostToDevice, nullptr, nullptr, 1000,
+             [&] { done.push_back(sim.now()); });
+  }
+  sim.run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0], sim::microseconds(1));
+  EXPECT_EQ(done[1], sim::microseconds(2));
+  EXPECT_EQ(done[2], sim::microseconds(3));
+}
+
+// The §4.2.1 hazard: a task's parameters and its ready flag copied in ONE
+// transaction can become visible to the GPU in either order — a naive
+// "params + flag in one memcpy" protocol would let the GPU schedule a task
+// whose parameters have not landed.
+TEST(PcieBus, IntraTransactionWriteOrderIsNotGuaranteed) {
+  struct NaiveEntry {
+    int params;
+    int ready;
+  };
+  bool saw_flag_before_params = false;
+  // Try several transactions; the reorder choice is deterministic per seed
+  // and transaction index, so within a few tries both orders appear.
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    sim::Simulation sim;
+    PcieBus bus(sim, PcieConfig{});
+    NaiveEntry cpu{42, 1};
+    NaiveEntry gpu{0, 0};
+    bool mid_flight_flag_set_without_params = false;
+    // Poll the GPU view mid-flight, like a scheduler warp would.
+    for (int t = 1; t < 40; ++t) {
+      sim.after(sim::microseconds(static_cast<double>(t) * 0.2), [&] {
+        if (gpu.ready == 1 && gpu.params != 42) {
+          mid_flight_flag_set_without_params = true;
+        }
+      });
+    }
+    bus.copy_two_regions_unordered(
+        Direction::HostToDevice, &gpu.params, &cpu.params, sizeof(int),
+        &gpu.ready, &cpu.ready, sizeof(int), seed, [] {});
+    sim.run();
+    // After completion both regions are consistent...
+    EXPECT_EQ(gpu.params, 42);
+    EXPECT_EQ(gpu.ready, 1);
+    saw_flag_before_params |= mid_flight_flag_set_without_params;
+  }
+  // ...but some transaction exposed the flag before the parameters: the
+  // naive protocol is unsound, which is why Pagoda's ready field carries
+  // the PREVIOUS task's id instead.
+  EXPECT_TRUE(saw_flag_before_params);
+}
+
+}  // namespace
+}  // namespace pagoda::pcie

@@ -1,0 +1,171 @@
+// Tests for the buddy shared-memory allocator (paper §5.1), including the
+// exact scenarios of Figs 3-4 and property-style sweeps.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "pagoda/shmem_allocator.h"
+
+namespace pagoda::runtime {
+namespace {
+
+TEST(ShmemAllocator, TreeHas127NodesFor32K) {
+  ShmemAllocator a;  // 32KB arena, 512B granularity
+  EXPECT_EQ(a.node_count(), 127);
+  EXPECT_EQ(a.arena_bytes(), 32 * 1024);
+  EXPECT_EQ(a.granularity(), 512);
+}
+
+TEST(ShmemAllocator, BlockSizeRounding) {
+  ShmemAllocator a;
+  EXPECT_EQ(a.block_size_for(1), 512);
+  EXPECT_EQ(a.block_size_for(512), 512);
+  EXPECT_EQ(a.block_size_for(513), 1024);
+  EXPECT_EQ(a.block_size_for(8 * 1024), 8 * 1024);
+  EXPECT_EQ(a.block_size_for(9 * 1024), 16 * 1024);
+  EXPECT_EQ(a.block_size_for(32 * 1024), 32 * 1024);
+}
+
+TEST(ShmemAllocator, Fig3AllocateEightK) {
+  // A completely free tree receives an 8K request: succeeds at offset 0.
+  ShmemAllocator a;
+  const auto off = a.allocate(8 * 1024);
+  ASSERT_TRUE(off.has_value());
+  EXPECT_EQ(*off, 0);
+  EXPECT_EQ(a.allocated_bytes(), 8 * 1024);
+  // Its buddy (next 8K) remains allocatable.
+  const auto buddy = a.allocate(8 * 1024);
+  ASSERT_TRUE(buddy.has_value());
+  EXPECT_EQ(*buddy, 8 * 1024);
+}
+
+TEST(ShmemAllocator, Fig4DeallocationMergesWithFreeSibling) {
+  ShmemAllocator a;
+  const auto x = a.allocate(4 * 1024);
+  const auto y = a.allocate(4 * 1024);
+  ASSERT_TRUE(x && y);
+  a.deallocate(*x);
+  // Sibling still allocated: the parent 8K must NOT be allocatable as a
+  // whole, but x's 4K region is.
+  EXPECT_FALSE(a.allocate(32 * 1024).has_value());
+  const auto x2 = a.allocate(4 * 1024);
+  ASSERT_TRUE(x2.has_value());
+  EXPECT_EQ(*x2, *x);
+  a.deallocate(*x2);
+  a.deallocate(*y);
+  // Fully merged again: the whole arena is allocatable.
+  const auto whole = a.allocate(32 * 1024);
+  ASSERT_TRUE(whole.has_value());
+  EXPECT_EQ(*whole, 0);
+}
+
+TEST(ShmemAllocator, AncestorMarkingBlocksOverlappingAllocations) {
+  ShmemAllocator a;
+  const auto small = a.allocate(512);
+  ASSERT_TRUE(small.has_value());
+  // Any block that would contain the 512B allocation is unavailable; the
+  // first free 1K lives next to it.
+  const auto onek = a.allocate(1024);
+  ASSERT_TRUE(onek.has_value());
+  EXPECT_GE(*onek, 1024);
+}
+
+TEST(ShmemAllocator, ExhaustionReturnsNullopt) {
+  ShmemAllocator a;
+  std::vector<std::int32_t> offs;
+  for (int i = 0; i < 64; ++i) {
+    const auto off = a.allocate(512);
+    ASSERT_TRUE(off.has_value());
+    offs.push_back(*off);
+  }
+  EXPECT_FALSE(a.allocate(512).has_value());
+  EXPECT_EQ(a.allocated_bytes(), 32 * 1024);
+  // All offsets distinct and granular.
+  std::set<std::int32_t> uniq(offs.begin(), offs.end());
+  EXPECT_EQ(uniq.size(), 64u);
+  for (auto o : offs) EXPECT_EQ(o % 512, 0);
+  for (auto o : offs) a.deallocate(o);
+  EXPECT_EQ(a.allocated_bytes(), 0);
+}
+
+TEST(ShmemAllocator, OversizedRequestFails) {
+  ShmemAllocator a;
+  EXPECT_FALSE(a.allocate(64 * 1024).has_value());
+}
+
+TEST(ShmemAllocator, DeferredDeallocationSweep) {
+  ShmemAllocator a;
+  const auto x = a.allocate(16 * 1024);
+  const auto y = a.allocate(16 * 1024);
+  ASSERT_TRUE(x && y);
+  EXPECT_FALSE(a.allocate(512).has_value());
+  // Executor-warp side: mark; no space is reclaimed yet.
+  a.mark_for_deallocation(*x);
+  EXPECT_TRUE(a.has_deferred());
+  EXPECT_FALSE(a.allocate(512).has_value());
+  // Scheduler-warp side: sweep, then allocation succeeds.
+  EXPECT_EQ(a.sweep_deferred(), 1);
+  EXPECT_FALSE(a.has_deferred());
+  EXPECT_TRUE(a.allocate(512).has_value());
+}
+
+// Property-style randomized exercise: allocations never overlap, never
+// exceed the arena, and a full free cycle always restores the empty state.
+class ShmemAllocatorRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ShmemAllocatorRandomTest, NoOverlapAndFullRecovery) {
+  ShmemAllocator a;
+  SplitMix64 rng(GetParam());
+  struct Live {
+    std::int32_t offset;
+    std::int32_t size;
+  };
+  std::vector<Live> live;
+  for (int step = 0; step < 2000; ++step) {
+    const bool do_alloc = live.empty() || (rng.next() % 100 < 60);
+    if (do_alloc) {
+      const std::int32_t req =
+          static_cast<std::int32_t>(rng.next_in(1, 8 * 1024));
+      const auto off = a.allocate(req);
+      if (off.has_value()) {
+        const std::int32_t size = a.block_size_for(req);
+        // Check bounds and non-overlap with every live block.
+        ASSERT_GE(*off, 0);
+        ASSERT_LE(*off + size, a.arena_bytes());
+        for (const Live& l : live) {
+          const bool disjoint = *off + size <= l.offset || l.offset + l.size <= *off;
+          ASSERT_TRUE(disjoint) << "overlap at step " << step;
+        }
+        live.push_back(Live{*off, size});
+      } else {
+        // Denial must be justified: free bytes below request size is the
+        // weak check (fragmentation can justify denial too, so only check
+        // the trivially-wrong case: empty allocator must never deny).
+        ASSERT_FALSE(live.empty());
+      }
+    } else {
+      const std::size_t pick = rng.next() % live.size();
+      a.deallocate(live[pick].offset);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    if (step % 61 == 0) {
+      ASSERT_TRUE(a.check_invariants()) << "buddy invariant broken at step "
+                                        << step;
+    }
+  }
+  ASSERT_TRUE(a.check_invariants());
+  for (const Live& l : live) a.deallocate(l.offset);
+  EXPECT_EQ(a.allocated_bytes(), 0);
+  const auto whole = a.allocate(32 * 1024);
+  EXPECT_TRUE(whole.has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShmemAllocatorRandomTest,
+                         ::testing::Values(1, 2, 3, 42, 1234, 99999));
+
+}  // namespace
+}  // namespace pagoda::runtime

@@ -1,0 +1,90 @@
+// Tests for the SIMT kernel-authoring helpers.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "gpu/simt.h"
+
+namespace pagoda::gpu::simt {
+namespace {
+
+WarpCtx make_ctx(int warp_in_task, int threads_per_block, int num_blocks,
+                 ExecMode mode = ExecMode::Compute) {
+  WarpCtx ctx;
+  ctx.warp_in_task = warp_in_task;
+  ctx.warp_in_block = warp_in_task % ((threads_per_block + 31) / 32);
+  ctx.block_index = warp_in_task / ((threads_per_block + 31) / 32);
+  ctx.threads_per_block = threads_per_block;
+  ctx.num_blocks = num_blocks;
+  ctx.mode = mode;
+  return ctx;
+}
+
+TEST(Simt, WarpIterationsPartitionElements) {
+  // Sum of per-lane element counts over all warps must equal n, for many
+  // (n, threads, blocks) shapes.
+  for (const int n : {1, 31, 32, 100, 4096, 5000}) {
+    for (const int tpb : {32, 96, 128, 256}) {
+      for (const int blocks : {1, 2, 3}) {
+        const int warps = (tpb + 31) / 32 * blocks;
+        int total = 0;
+        for (int w = 0; w < warps; ++w) {
+          WarpCtx ctx = make_ctx(w, tpb, blocks);
+          int count = 0;
+          for_each_element(ctx, n, [&](int) { ++count; });
+          total += count;
+          // warp_iterations bounds the per-lane work (lane 0 is densest).
+          int lane0 = 0;
+          for (int i = ctx.tid(0); i < n; i += total_threads(ctx)) ++lane0;
+          EXPECT_EQ(warp_iterations(ctx, n), lane0);
+        }
+        EXPECT_EQ(total, n) << "n=" << n << " tpb=" << tpb
+                            << " blocks=" << blocks;
+      }
+    }
+  }
+}
+
+TEST(Simt, ForEachElementVisitsEachIndexOnce) {
+  const int n = 1000;
+  std::vector<int> visits(n, 0);
+  const int tpb = 96;
+  const int warps = 3;
+  for (int w = 0; w < warps; ++w) {
+    WarpCtx ctx = make_ctx(w, tpb, 1);
+    for_each_element(ctx, n, [&](int i) { visits[static_cast<size_t>(i)]++; });
+  }
+  for (int i = 0; i < n; ++i) EXPECT_EQ(visits[static_cast<size_t>(i)], 1);
+}
+
+TEST(Simt, ForEachElementSkipsBodyInModelMode) {
+  WarpCtx ctx = make_ctx(0, 32, 1, ExecMode::Model);
+  int count = 0;
+  for_each_element(ctx, 100, [&](int) { ++count; });
+  EXPECT_EQ(count, 0);
+  for_each_element_always(ctx, 100, [&](int) { ++count; });
+  EXPECT_GT(count, 0);
+}
+
+TEST(Simt, ChargeElementsIsModeIndependent) {
+  for (const ExecMode mode : {ExecMode::Compute, ExecMode::Model}) {
+    WarpCtx ctx = make_ctx(1, 128, 1, mode);
+    charge_elements(ctx, 4096, 10.0, 20.0);
+    // 4096 elements / 128 threads = 32 iterations per warp.
+    EXPECT_DOUBLE_EQ(ctx.take_charge(), 320.0);
+    EXPECT_DOUBLE_EQ(ctx.take_stall(), 640.0);
+  }
+}
+
+TEST(Simt, TailWarpChargesNothingBeyondRange) {
+  // n smaller than this warp's first tid: no iterations, no charge.
+  WarpCtx ctx = make_ctx(3, 128, 1);  // tids 96..127
+  charge_elements(ctx, 50, 10.0, 20.0);
+  EXPECT_DOUBLE_EQ(ctx.take_charge(), 0.0);
+  EXPECT_DOUBLE_EQ(ctx.take_stall(), 0.0);
+  EXPECT_EQ(warp_iterations(ctx, 50), 0);
+}
+
+}  // namespace
+}  // namespace pagoda::gpu::simt

@@ -1,0 +1,158 @@
+// Trace subsystem tests: the recorded per-task lifecycle respects the
+// protocol's strict temporal order Spawned -> EntryCopied -> Released ->
+// Scheduled -> Completed, across entry recycling and randomized task shapes.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "common/rng.h"
+#include "gpu/device.h"
+#include "pagoda/runtime.h"
+#include "pagoda/trace.h"
+#include "sim/process.h"
+
+namespace pagoda::runtime {
+namespace {
+
+gpu::KernelCoro noop_kernel(gpu::WarpCtx& ctx) {
+  ctx.charge(20.0);
+  ctx.charge_stall(40.0);
+  co_return;
+}
+
+sim::Process spawn_n(sim::Simulation& sim, Runtime& rt, int n,
+                     SplitMix64& rng, bool& done) {
+  for (int t = 0; t < n; ++t) {
+    TaskParams p;
+    p.fn = noop_kernel;
+    p.threads_per_block = static_cast<int>(rng.next_in(1, 8)) * 32;
+    p.num_blocks = 1;
+    co_await rt.task_spawn(p);
+    if (rng.next() % 8 == 0) {
+      co_await sim.delay(sim::microseconds(rng.next_double() * 10.0));
+    }
+  }
+  co_await rt.wait_all();
+  done = true;
+}
+
+TEST(Trace, LifecycleOrderHoldsForEveryTask) {
+  sim::Simulation sim;
+  gpu::GpuSpec spec = gpu::GpuSpec::titan_x();
+  spec.num_smms = 2;  // small table -> recycling
+  gpu::Device dev(sim, spec);
+  Runtime rt(dev);
+  TraceRecorder trace;
+  rt.set_trace_recorder(&trace);
+  rt.start();
+  SplitMix64 rng(11);
+  bool done = false;
+  constexpr int kTasks = 400;
+  sim.spawn(spawn_n(sim, rt, kTasks, rng, done));
+  sim.run_until(sim::seconds(5.0));
+  ASSERT_TRUE(done);
+
+  const auto timelines = trace.timelines();
+  ASSERT_EQ(timelines.size(), static_cast<std::size_t>(kTasks));
+  for (const auto& t : timelines) {
+    ASSERT_TRUE(t.complete()) << "task at entry " << t.task
+                              << " missing lifecycle events";
+    ASSERT_TRUE(t.ordered()) << "task at entry " << t.task
+                             << " violated lifecycle order";
+  }
+  rt.shutdown();
+}
+
+TEST(Trace, WarpDispatchCountMatchesTaskWarps) {
+  sim::Simulation sim;
+  gpu::Device dev(sim, gpu::GpuSpec::titan_x());
+  Runtime rt(dev);
+  TraceRecorder trace;
+  rt.set_trace_recorder(&trace);
+  rt.start();
+  SplitMix64 rng(3);
+  bool done = false;
+  sim.spawn(spawn_n(sim, rt, 50, rng, done));
+  sim.run_until(sim::seconds(2.0));
+  ASSERT_TRUE(done);
+  int dispatched = 0;
+  for (const TraceEvent& e : trace.events()) {
+    if (e.kind == TraceKind::kWarpDispatched) ++dispatched;
+  }
+  EXPECT_EQ(dispatched,
+            static_cast<int>(rt.master_kernel().warps_dispatched()));
+  rt.shutdown();
+}
+
+TEST(Trace, CsvDumpIsWellFormed) {
+  sim::Simulation sim;
+  gpu::Device dev(sim, gpu::GpuSpec::titan_x());
+  Runtime rt(dev);
+  TraceRecorder trace;
+  rt.set_trace_recorder(&trace);
+  rt.start();
+  SplitMix64 rng(5);
+  bool done = false;
+  sim.spawn(spawn_n(sim, rt, 5, rng, done));
+  sim.run_until(sim::seconds(1.0));
+  ASSERT_TRUE(done);
+  std::ostringstream os;
+  trace.write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("time_us,kind,task,aux"), std::string::npos);
+  EXPECT_NE(csv.find("spawned"), std::string::npos);
+  EXPECT_NE(csv.find("completed"), std::string::npos);
+  // One line per event plus the header.
+  const auto lines = static_cast<std::size_t>(
+      std::count(csv.begin(), csv.end(), '\n'));
+  EXPECT_EQ(lines, trace.events().size() + 1);
+  rt.shutdown();
+}
+
+TEST(Trace, ChromeTraceExportIsValidJson) {
+  sim::Simulation sim;
+  gpu::Device dev(sim, gpu::GpuSpec::titan_x());
+  Runtime rt(dev);
+  TraceRecorder trace;
+  rt.set_trace_recorder(&trace);
+  rt.start();
+  SplitMix64 rng(13);
+  bool done = false;
+  sim.spawn(spawn_n(sim, rt, 10, rng, done));
+  sim.run_until(sim::seconds(1.0));
+  ASSERT_TRUE(done);
+  std::ostringstream os;
+  trace.write_chrome_trace(os);
+  const std::string json = os.str();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json[json.size() - 2], ']');
+  // Balanced braces and one duration slice per task.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  std::size_t slices = 0;
+  for (std::size_t pos = json.find("\"ph\":\"X\""); pos != std::string::npos;
+       pos = json.find("\"ph\":\"X\"", pos + 1)) {
+    ++slices;
+  }
+  EXPECT_EQ(slices, 10u);
+  rt.shutdown();
+}
+
+TEST(Trace, ForTaskFiltersAndKindNamesAreStable) {
+  TraceRecorder trace;
+  trace.record(10, TraceKind::kSpawned, 2);
+  trace.record(20, TraceKind::kSpawned, 3);
+  trace.record(30, TraceKind::kCompleted, 2);
+  const auto t2 = trace.for_task(2);
+  ASSERT_EQ(t2.size(), 2u);
+  EXPECT_EQ(t2[0].kind, TraceKind::kSpawned);
+  EXPECT_EQ(t2[1].kind, TraceKind::kCompleted);
+  EXPECT_EQ(trace_kind_name(TraceKind::kWarpDispatched), "warp_dispatched");
+  EXPECT_EQ(trace_kind_name(TraceKind::kCopyBack), "copy_back");
+  trace.clear();
+  EXPECT_TRUE(trace.events().empty());
+}
+
+}  // namespace
+}  // namespace pagoda::runtime

@@ -1,0 +1,115 @@
+// Tests for workload configuration knobs: dynamic thread selection,
+// blocks-per-task redistribution, input scaling, and the aggregate
+// accounting methods the harness relies on.
+#include <gtest/gtest.h>
+
+#include "workloads/workload.h"
+
+namespace pagoda::workloads {
+namespace {
+
+TEST(DynamicThreads, ProportionalWarpGranularClamped) {
+  EXPECT_EQ(dynamic_thread_count(128, 1.0), 128);
+  EXPECT_EQ(dynamic_thread_count(128, 0.5), 64);
+  EXPECT_EQ(dynamic_thread_count(128, 0.01), 32);   // clamp low
+  EXPECT_EQ(dynamic_thread_count(128, 10.0), 256);  // clamp high
+  EXPECT_EQ(dynamic_thread_count(128, 0.7), 96);    // warp multiple
+  EXPECT_EQ(dynamic_thread_count(100, 1.0), 128);   // rounds up to a warp
+}
+
+TEST(WorkloadConfig, DynamicThreadsVaryWithTaskSize) {
+  auto wl = make_workload("3DES");
+  WorkloadConfig cfg;
+  cfg.num_tasks = 64;
+  cfg.irregular_sizes = true;
+  cfg.dynamic_threads = true;
+  cfg.mode = gpu::ExecMode::Model;
+  wl->generate(cfg);
+  int min_t = 1 << 20;
+  int max_t = 0;
+  for (const TaskSpec& t : wl->tasks()) {
+    EXPECT_EQ(t.params.threads_per_block % 32, 0);
+    EXPECT_GE(t.params.threads_per_block, 32);
+    EXPECT_LE(t.params.threads_per_block, 256);
+    min_t = std::min(min_t, t.params.threads_per_block);
+    max_t = std::max(max_t, t.params.threads_per_block);
+  }
+  EXPECT_LT(min_t, max_t) << "thread counts should track packet sizes";
+}
+
+TEST(WorkloadConfig, BlocksPerTaskRedistributesConstantWork) {
+  // Total charges must not change when the same work is spread over more
+  // blocks (Fig 8's axis).
+  auto count_cycles = [](int blocks) {
+    auto wl = make_workload("CONV");
+    WorkloadConfig cfg;
+    cfg.num_tasks = 1;
+    cfg.threads_per_task = 256;
+    cfg.blocks_per_task = blocks;
+    cfg.mode = gpu::ExecMode::Model;
+    wl->generate(cfg);
+    const TaskSpec& spec = wl->tasks()[0];
+    EXPECT_EQ(spec.params.num_blocks, blocks);
+    double total = 0.0;
+    const int warps = spec.params.warps_total();
+    for (int w = 0; w < warps; ++w) {
+      gpu::WarpCtx ctx;
+      ctx.warp_in_task = w;
+      ctx.warp_in_block = w % spec.params.warps_per_block();
+      ctx.block_index = w / spec.params.warps_per_block();
+      ctx.threads_per_block = spec.params.threads_per_block;
+      ctx.num_blocks = spec.params.num_blocks;
+      ctx.mode = gpu::ExecMode::Model;
+      ctx.args = spec.params.args.data();
+      gpu::KernelCoro coro = spec.params.fn(ctx);
+      while (!coro.done()) {
+        const auto seg = gpu::run_segment(coro, ctx);
+        total += seg.cycles;
+        if (!seg.at_barrier) break;
+      }
+    }
+    return total;
+  };
+  const double one = count_cycles(1);
+  const double four = count_cycles(4);
+  EXPECT_NEAR(one, four, one * 0.05);
+}
+
+TEST(WorkloadConfig, InputScaleChangesTaskWeight) {
+  auto weigh = [](int scale) {
+    auto wl = make_workload("MM");
+    WorkloadConfig cfg;
+    cfg.num_tasks = 1;
+    cfg.input_scale = scale;
+    cfg.mode = gpu::ExecMode::Model;
+    wl->generate(cfg);
+    return wl->tasks()[0].cpu_ops;
+  };
+  // Matmul ops grow ~cubically with the matrix dimension.
+  EXPECT_GT(weigh(128), 7.0 * weigh(64));
+  EXPECT_LT(weigh(128), 9.0 * weigh(64));
+}
+
+TEST(WorkloadConfig, TotalsAggregateAcrossTasks) {
+  auto wl = make_workload("CONV");
+  WorkloadConfig cfg;
+  cfg.num_tasks = 10;
+  cfg.mode = gpu::ExecMode::Model;
+  wl->generate(cfg);
+  const auto tasks = wl->tasks();
+  std::int64_t h2d = 0;
+  std::int64_t d2h = 0;
+  double ops = 0;
+  for (const TaskSpec& t : tasks) {
+    h2d += t.h2d_bytes;
+    d2h += t.d2h_bytes;
+    ops += t.cpu_ops;
+  }
+  EXPECT_EQ(wl->total_h2d_bytes(), h2d);
+  EXPECT_EQ(wl->total_d2h_bytes(), d2h);
+  EXPECT_DOUBLE_EQ(wl->total_cpu_ops(), ops);
+  EXPECT_EQ(h2d, 10LL * 128 * 128 * 4);
+}
+
+}  // namespace
+}  // namespace pagoda::workloads

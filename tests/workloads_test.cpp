@@ -1,0 +1,243 @@
+// Workload correctness and cost-model invariants.
+//
+// Each workload's kernels are driven inline (outside any runtime) through
+// the warp-coroutine interface, then verified against the CPU reference.
+// A parameterized suite also asserts the key timing invariant: Model and
+// Compute modes charge identical cycles.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpu/kernel.h"
+#include "workloads/workload.h"
+
+namespace pagoda::workloads {
+namespace {
+
+/// Drives one task's kernel to completion, honoring block barriers, without
+/// any simulator: warps of a block advance in rounds. Returns total charged
+/// (issue, stall) cycles across all warps.
+std::pair<double, double> run_task_inline(const TaskSpec& spec,
+                                          gpu::ExecMode mode) {
+  const runtime::TaskParams& p = spec.params;
+  double issue = 0.0;
+  double stall = 0.0;
+  for (int block = 0; block < p.num_blocks; ++block) {
+    const int warps = p.warps_per_block();
+    std::vector<gpu::WarpCtx> ctxs(static_cast<std::size_t>(warps));
+    std::vector<std::unique_ptr<gpu::KernelCoro>> coros;
+    std::vector<std::byte> shmem(
+        static_cast<std::size_t>(p.shared_mem_bytes));
+    for (int w = 0; w < warps; ++w) {
+      gpu::WarpCtx& ctx = ctxs[static_cast<std::size_t>(w)];
+      ctx.warp_in_task = block * warps + w;
+      ctx.block_index = block;
+      ctx.warp_in_block = w;
+      ctx.threads_per_block = p.threads_per_block;
+      ctx.num_blocks = p.num_blocks;
+      ctx.mode = mode;
+      ctx.args = p.args.data();
+      ctx.shared_mem = std::span<std::byte>(shmem);
+      coros.push_back(std::make_unique<gpu::KernelCoro>(
+          p.fn(ctxs[static_cast<std::size_t>(w)])));
+    }
+    // Rounds: resume every live warp once per round (barrier semantics).
+    bool any_live = true;
+    int rounds = 0;
+    while (any_live) {
+      any_live = false;
+      if (rounds++ > 100000) {
+        ADD_FAILURE() << "kernel never terminates";
+        break;
+      }
+      for (int w = 0; w < warps; ++w) {
+        auto& coro = *coros[static_cast<std::size_t>(w)];
+        if (coro.done()) continue;
+        const gpu::SegmentResult seg =
+            gpu::run_segment(coro, ctxs[static_cast<std::size_t>(w)]);
+        issue += seg.cycles;
+        stall += seg.stall_cycles;
+        if (seg.at_barrier) any_live = true;
+      }
+    }
+  }
+  return {issue, stall};
+}
+
+// Using void return to allow ASSERT inside.
+void run_task_inline_checked(const TaskSpec& spec, gpu::ExecMode mode,
+                             double& issue, double& stall) {
+  auto [i, s] = run_task_inline(spec, mode);
+  issue = i;
+  stall = s;
+}
+
+class WorkloadCorrectness : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadCorrectness, ComputeModeMatchesReference) {
+  auto wl = make_workload(GetParam());
+  WorkloadConfig cfg;
+  cfg.num_tasks = 8;
+  cfg.threads_per_task = 128;
+  cfg.mode = gpu::ExecMode::Compute;
+  wl->generate(cfg);
+  ASSERT_EQ(wl->tasks().size(), 8u);
+  for (const TaskSpec& spec : wl->tasks()) {
+    double issue = 0.0;
+    double stall = 0.0;
+    run_task_inline_checked(spec, gpu::ExecMode::Compute, issue, stall);
+    EXPECT_GT(issue, 0.0) << "kernel charged no issue cycles";
+  }
+  EXPECT_TRUE(wl->verify()) << GetParam() << " output mismatch";
+}
+
+TEST_P(WorkloadCorrectness, ModelModeChargesIdenticalCycles) {
+  auto wl = make_workload(GetParam());
+  WorkloadConfig cfg;
+  cfg.num_tasks = 4;
+  cfg.threads_per_task = 96;
+  cfg.mode = gpu::ExecMode::Compute;
+  wl->generate(cfg);
+  for (const TaskSpec& spec : wl->tasks()) {
+    double ci = 0.0;
+    double cs = 0.0;
+    double mi = 0.0;
+    double ms = 0.0;
+    run_task_inline_checked(spec, gpu::ExecMode::Compute, ci, cs);
+    run_task_inline_checked(spec, gpu::ExecMode::Model, mi, ms);
+    EXPECT_DOUBLE_EQ(ci, mi) << "issue charges differ between modes";
+    EXPECT_DOUBLE_EQ(cs, ms) << "stall charges differ between modes";
+  }
+}
+
+TEST_P(WorkloadCorrectness, ResetOutputsAllowsReRun) {
+  auto wl = make_workload(GetParam());
+  if (GetParam() == "SLUD") return;  // in-place tasks regenerate inputs
+  WorkloadConfig cfg;
+  cfg.num_tasks = 3;
+  cfg.threads_per_task = 64;
+  cfg.mode = gpu::ExecMode::Compute;
+  wl->generate(cfg);
+  for (const TaskSpec& spec : wl->tasks()) {
+    double i = 0.0;
+    double s = 0.0;
+    run_task_inline_checked(spec, gpu::ExecMode::Compute, i, s);
+  }
+  ASSERT_TRUE(wl->verify());
+  wl->reset_outputs();
+  EXPECT_FALSE(wl->verify());  // outputs cleared
+  for (const TaskSpec& spec : wl->tasks()) {
+    double i = 0.0;
+    double s = 0.0;
+    run_task_inline_checked(spec, gpu::ExecMode::Compute, i, s);
+  }
+  EXPECT_TRUE(wl->verify());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, WorkloadCorrectness,
+                         ::testing::Values("MB", "FB", "BF", "CONV", "DCT",
+                                           "MM", "SLUD", "3DES", "MPE"),
+                         [](const auto& info) { return info.param; });
+
+// Thread-count sweep (Fig 7's axis): work per task must be constant across
+// thread counts — only the distribution changes.
+class ThreadCountInvariance : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadCountInvariance, TotalChargesIndependentOfThreads) {
+  auto wl = make_workload("CONV");
+  WorkloadConfig cfg;
+  cfg.num_tasks = 2;
+  cfg.threads_per_task = GetParam();
+  cfg.mode = gpu::ExecMode::Model;
+  wl->generate(cfg);
+  double total = 0.0;
+  for (const TaskSpec& spec : wl->tasks()) {
+    double i = 0.0;
+    double s = 0.0;
+    run_task_inline_checked(spec, gpu::ExecMode::Model, i, s);
+    total += i;
+  }
+  // Charges are warp instructions: one instruction covers the warp's 32
+  // lanes, so a 128x128 image costs pixels/32 warp-iterations of 56
+  // issue-cycles each. Strided loops may round up per warp: within 5%.
+  const double expected = 2.0 * 128 * 128 / 32.0 * 56.0;
+  EXPECT_NEAR(total, expected, expected * 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadCountInvariance,
+                         ::testing::Values(32, 64, 128, 256, 512));
+
+TEST(Workloads, IrregularSizesVaryAcrossTasks) {
+  auto wl = make_workload("3DES");
+  WorkloadConfig cfg;
+  cfg.num_tasks = 64;
+  cfg.mode = gpu::ExecMode::Model;
+  wl->generate(cfg);
+  std::int64_t min_b = wl->tasks()[0].h2d_bytes;
+  std::int64_t max_b = min_b;
+  for (const TaskSpec& t : wl->tasks()) {
+    min_b = std::min(min_b, t.h2d_bytes);
+    max_b = std::max(max_b, t.h2d_bytes);
+  }
+  EXPECT_GE(min_b, 2 * 1024);
+  EXPECT_LE(max_b, 64 * 1024);
+  EXPECT_GT(max_b, 2 * min_b) << "packet sizes should spread";
+}
+
+TEST(Workloads, SludHasDependencyWaves) {
+  auto wl = make_workload("SLUD");
+  WorkloadConfig cfg;
+  cfg.num_tasks = 100;
+  cfg.mode = gpu::ExecMode::Model;
+  wl->generate(cfg);
+  int max_wave = 0;
+  int wave0 = 0;
+  for (const TaskSpec& t : wl->tasks()) {
+    max_wave = std::max(max_wave, t.wave);
+    if (t.wave == 0) ++wave0;
+  }
+  EXPECT_GT(max_wave, 2);      // several dependency levels
+  EXPECT_EQ(wave0, 50);        // leaf-heavy: half the tasks in wave 0
+}
+
+TEST(Workloads, MpeInterleavesFourApplications) {
+  auto wl = make_workload("MPE");
+  WorkloadConfig cfg;
+  cfg.num_tasks = 16;
+  cfg.mode = gpu::ExecMode::Model;
+  wl->generate(cfg);
+  ASSERT_EQ(wl->tasks().size(), 16u);
+  // Consecutive tasks come from different applications: kernel fns differ.
+  const auto& tasks = wl->tasks();
+  EXPECT_NE(tasks[0].params.fn, tasks[1].params.fn);
+  EXPECT_NE(tasks[1].params.fn, tasks[2].params.fn);
+  EXPECT_NE(tasks[2].params.fn, tasks[3].params.fn);
+  // Stream repeats with period 4.
+  EXPECT_EQ(tasks[0].params.fn, tasks[4].params.fn);
+}
+
+TEST(Workloads, RegisterCountsMatchTable3) {
+  const std::pair<const char*, int> expected[] = {
+      {"MB", 28}, {"FB", 21}, {"BF", 34},   {"CONV", 25},
+      {"DCT", 33}, {"MM", 30}, {"SLUD", 17}, {"3DES", 26}};
+  for (const auto& [name, regs] : expected) {
+    auto wl = make_workload(name);
+    EXPECT_EQ(wl->traits().default_registers, regs) << name;
+  }
+}
+
+TEST(Workloads, Table3FlagsMatch) {
+  EXPECT_TRUE(make_workload("MB")->traits().irregular);
+  EXPECT_TRUE(make_workload("SLUD")->traits().irregular);
+  EXPECT_TRUE(make_workload("3DES")->traits().irregular);
+  EXPECT_FALSE(make_workload("CONV")->traits().irregular);
+  EXPECT_TRUE(make_workload("FB")->traits().needs_sync);
+  EXPECT_TRUE(make_workload("DCT")->traits().needs_sync);
+  EXPECT_TRUE(make_workload("MM")->traits().may_use_shared);
+  EXPECT_FALSE(make_workload("BF")->traits().may_use_shared);
+}
+
+}  // namespace
+}  // namespace pagoda::workloads
