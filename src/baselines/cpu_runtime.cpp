@@ -8,6 +8,7 @@
 #include "baselines/factories.h"
 #include "gpu/kernel.h"
 #include "host/host_api.h"
+#include "obs/collector.h"
 #include "sim/process.h"
 #include "sim/sync.h"
 
@@ -70,6 +71,7 @@ class CpuRuntime final : public TaskRuntime {
   RunResult run(workloads::Workload& w, const RunConfig& cfg) override {
     sim::Simulation sim;
     host::CpuCluster cpu(sim, cores_, kCoreOpsPerSec);
+    if (cfg.collector != nullptr) cfg.collector->attach_cpu(sim, cpu);
     const std::span<const workloads::TaskSpec> tasks = w.tasks();
     const int waves = max_wave(w) + 1;
 
@@ -126,6 +128,13 @@ class CpuRuntime final : public TaskRuntime {
         res.task_latency_us.push_back(
             sim::to_microseconds(complete[i] - submit[i]));
       }
+    }
+    if (cfg.collector != nullptr) {
+      for (std::size_t i = 0; i < tasks.size(); ++i) {
+        cfg.collector->task_span(submit[i], complete[i]);
+      }
+      cfg.collector->finish(end_time,
+                            static_cast<std::int64_t>(tasks.size()));
     }
     return res;
   }

@@ -13,6 +13,7 @@
 #include "common/check.h"
 #include "gpu/device.h"
 #include "gpu/stream.h"
+#include "obs/collector.h"
 #include "sim/process.h"
 #include "sim/sync.h"
 
@@ -135,6 +136,7 @@ class FusionRuntime final : public TaskRuntime {
   RunResult run(workloads::Workload& w, const RunConfig& cfg) override {
     PAGODA_CHECK_MSG(supports(w), "static fusion cannot run this workload");
     FusionState st(cfg);
+    if (cfg.collector != nullptr) cfg.collector->attach_device(st.dev);
     st.fused_tasks.reserve(w.tasks().size());
     for (const TaskSpec& t : w.tasks()) st.fused_tasks.push_back(t.params);
     st.sim.spawn(controller(st, cfg, w));
@@ -155,6 +157,10 @@ class FusionRuntime final : public TaskRuntime {
       const double lat =
           sim::to_microseconds(st.kernel_complete - st.kernel_issue);
       res.task_latency_us.assign(w.tasks().size(), lat);
+    }
+    if (cfg.collector != nullptr) {
+      cfg.collector->task_span(st.kernel_issue, st.kernel_complete);
+      cfg.collector->finish(st.end_time, res.tasks);
     }
     return res;
   }

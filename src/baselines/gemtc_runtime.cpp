@@ -21,6 +21,7 @@
 #include "gpu/device.h"
 #include "gpu/occupancy.h"
 #include "gpu/stream.h"
+#include "obs/collector.h"
 #include "sim/process.h"
 #include "sim/sync.h"
 
@@ -225,6 +226,7 @@ class GemtcRuntime final : public TaskRuntime {
     const int batch =
         cfg.batch_size > 0 ? cfg.batch_size
                            : static_cast<int>(st.workers.size());
+    if (cfg.collector != nullptr) cfg.collector->attach_device(st.dev);
     st.sim.spawn(controller(st, cfg, w, std::max(1, batch)));
     st.sim.run_until(cfg.time_cap);
 
@@ -249,6 +251,14 @@ class GemtcRuntime final : public TaskRuntime {
             st.complete_time[static_cast<std::size_t>(i)] -
             st.batch_issue_time[static_cast<std::size_t>(i)]));
       }
+    }
+    if (cfg.collector != nullptr) {
+      for (int i = 0; i < num_tasks; ++i) {
+        cfg.collector->task_span(
+            st.batch_issue_time[static_cast<std::size_t>(i)],
+            st.complete_time[static_cast<std::size_t>(i)]);
+      }
+      cfg.collector->finish(st.end_time, num_tasks);
     }
     return res;
   }

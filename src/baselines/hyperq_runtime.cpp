@@ -13,6 +13,7 @@
 #include "baselines/factories.h"
 #include "gpu/device.h"
 #include "gpu/stream.h"
+#include "obs/collector.h"
 #include "sim/process.h"
 #include "sim/sync.h"
 
@@ -120,6 +121,7 @@ class HyperQRuntime final : public TaskRuntime {
   RunResult run(workloads::Workload& w, const RunConfig& cfg) override {
     const auto num_tasks = static_cast<int>(w.tasks().size());
     HqState st(cfg, num_tasks);
+    if (cfg.collector != nullptr) cfg.collector->attach_device(st.dev);
     st.sim.spawn(controller(st, cfg, w));
     st.sim.run_until(cfg.time_cap);
 
@@ -138,6 +140,13 @@ class HyperQRuntime final : public TaskRuntime {
             st.complete_time[static_cast<std::size_t>(i)] -
             st.issue_time[static_cast<std::size_t>(i)]));
       }
+    }
+    if (cfg.collector != nullptr) {
+      for (int i = 0; i < num_tasks; ++i) {
+        cfg.collector->task_span(st.issue_time[static_cast<std::size_t>(i)],
+                                 st.complete_time[static_cast<std::size_t>(i)]);
+      }
+      cfg.collector->finish(st.end_time, num_tasks);
     }
     return res;
   }

@@ -16,6 +16,7 @@
 #include "common/check.h"
 #include "gpu/device.h"
 #include "gpu/stream.h"
+#include "obs/collector.h"
 #include "pagoda/runtime.h"
 #include "sim/process.h"
 #include "sim/sync.h"
@@ -186,6 +187,10 @@ class PagodaDriver final : public TaskRuntime {
   RunResult run(workloads::Workload& w, const RunConfig& cfg) override {
     const auto num_tasks = static_cast<int>(w.tasks().size());
     RunState st(cfg, num_tasks);
+    if (cfg.collector != nullptr) {
+      cfg.collector->attach_device(st.dev);
+      cfg.collector->attach_pagoda(st.rt);
+    }
     st.rt.start();
     const int batch =
         cfg.batch_size > 0 ? cfg.batch_size : gemtc_worker_count(cfg.spec, w);
@@ -213,6 +218,13 @@ class PagodaDriver final : public TaskRuntime {
             st.complete_time[static_cast<std::size_t>(i)] -
             st.spawn_time[static_cast<std::size_t>(i)]));
       }
+    }
+    if (cfg.collector != nullptr) {
+      for (int i = 0; i < num_tasks; ++i) {
+        cfg.collector->task_span(st.spawn_time[static_cast<std::size_t>(i)],
+                                 st.complete_time[static_cast<std::size_t>(i)]);
+      }
+      cfg.collector->finish(st.end_time, num_tasks);
     }
     st.rt.shutdown();
     return res;

@@ -24,6 +24,10 @@
 #include "pcie/pcie_bus.h"
 #include "workloads/workload.h"
 
+namespace pagoda::obs {
+class Collector;
+}
+
 namespace pagoda::baselines {
 
 struct RunConfig {
@@ -43,6 +47,11 @@ struct RunConfig {
   sim::Duration time_cap = sim::seconds(3600.0);
   /// Record per-task spawn->completion latencies (Fig 10).
   bool collect_latencies = false;
+  /// Observability sink (see obs/collector.h). When set, the driver attaches
+  /// its Device/Runtime/CpuCluster, emits task spans and calls finish()
+  /// before tearing the run down. nullptr disables collection entirely; a
+  /// Collector serves exactly one run() call.
+  obs::Collector* collector = nullptr;
 };
 
 struct RunResult {

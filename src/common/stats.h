@@ -19,19 +19,33 @@ double std_deviation(std::span<const double> values);
 /// p-th percentile (0..100) by linear interpolation on a copy of the data.
 double percentile(std::span<const double> values, double p);
 
-/// Online accumulator for min/max/mean/count without storing samples.
+/// Online accumulator for min/max/mean/variance without storing samples.
+/// Uses Welford's algorithm; merge() combines independent accumulators
+/// (e.g. per-MTB metric streams) via the parallel variant (Chan et al.).
 class RunningStats {
  public:
   void add(double x);
+
+  /// Folds another accumulator into this one, as if every sample of `other`
+  /// had been add()ed here.
+  void merge(const RunningStats& other);
+
   std::size_t count() const { return count_; }
-  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  double mean() const { return count_ ? mean_ : 0.0; }
   double min() const { return min_; }
   double max() const { return max_; }
-  double sum() const { return sum_; }
+  double sum() const { return count_ ? mean_ * static_cast<double>(count_) : 0.0; }
+
+  /// Population variance / standard deviation; 0 for counts < 2.
+  double variance() const {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_);
+  }
+  double stddev() const;
 
  private:
   std::size_t count_ = 0;
-  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // sum of squared deviations from the running mean
   double min_ = 0.0;
   double max_ = 0.0;
 };

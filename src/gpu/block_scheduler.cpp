@@ -12,6 +12,8 @@ KernelExecutionPtr BlockDispatcher::launch(KernelLaunchParams p) {
                        p.threads_per_block <= spec_.max_threads_per_block,
                    "invalid threadblock size");
   auto exec = std::make_shared<KernelExecution>(*sim_, std::move(p));
+  exec->grid_id = grids_launched_++;
+  exec->launched = sim_->now();
   if (exec->params.num_blocks == 0) {
     exec->done.fire();
     return exec;
@@ -69,6 +71,8 @@ void BlockDispatcher::start_block(const KernelExecutionPtr& e, Smm& smm,
   const KernelLaunchParams& p = e->params;
   const BlockFootprint f = p.footprint();
   smm.reserve(f);
+  blocks_started_ += 1;
+  resident_blocks_ += 1;
 
   auto run = std::make_shared<BlockRun>(*sim_, p.warps_per_block());
   run->exec = e;
@@ -115,10 +119,27 @@ sim::Process BlockDispatcher::warp_runner(std::shared_ptr<BlockRun> run,
 
 void BlockDispatcher::finish_block(const std::shared_ptr<BlockRun>& run) {
   run->smm->release(run->footprint);
+  blocks_finished_ += 1;
+  resident_blocks_ -= 1;
   KernelExecution& e = *run->exec;
   e.blocks_finished += 1;
-  if (e.finished()) e.done.fire();
+  if (e.finished()) {
+    if (grid_observer_) {
+      grid_observer_(GridRecord{e.grid_id, e.launched, sim_->now(),
+                                e.params.num_blocks,
+                                e.params.threads_per_block});
+    }
+    e.done.fire();
+  }
   try_place();
+}
+
+std::int64_t BlockDispatcher::unplaced_blocks() const {
+  std::int64_t n = 0;
+  for (const KernelExecutionPtr& e : active_) {
+    n += e->params.num_blocks - e->next_block;
+  }
+  return n;
 }
 
 }  // namespace pagoda::gpu

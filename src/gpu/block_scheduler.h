@@ -13,7 +13,9 @@
 //    launch order (concurrent kernel execution).
 #pragma once
 
+#include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -45,6 +47,29 @@ class BlockDispatcher {
   /// Number of grids with unplaced threadblocks.
   std::size_t pending_grids() const { return active_.size(); }
 
+  // --- observability ------------------------------------------------------
+  /// A retired grid, as reported to the observer hook at completion.
+  struct GridRecord {
+    std::int64_t grid_id = 0;
+    sim::Time launched = 0;
+    sim::Time completed = 0;
+    int num_blocks = 0;
+    int threads_per_block = 0;
+  };
+  /// Invoked when a grid's last threadblock retires (obs::Collector emits
+  /// kernel spans from this); nullptr disables it.
+  void set_grid_observer(std::function<void(const GridRecord&)> obs) {
+    grid_observer_ = std::move(obs);
+  }
+
+  std::int64_t grids_launched() const { return grids_launched_; }
+  std::int64_t blocks_started() const { return blocks_started_; }
+  std::int64_t blocks_finished() const { return blocks_finished_; }
+  /// Threadblocks currently resident across all SMMs (TB-slot occupancy).
+  int resident_blocks() const { return resident_blocks_; }
+  /// Threadblocks of pending grids not yet placed (launch queue depth).
+  std::int64_t unplaced_blocks() const;
+
  private:
   struct BlockRun {
     KernelExecutionPtr exec;
@@ -69,6 +94,12 @@ class BlockDispatcher {
   std::vector<Smm*> smms_;
   std::deque<KernelExecutionPtr> active_;  // grids with unplaced blocks
   bool placing_ = false;                   // re-entrancy guard
+
+  std::int64_t grids_launched_ = 0;
+  std::int64_t blocks_started_ = 0;
+  std::int64_t blocks_finished_ = 0;
+  int resident_blocks_ = 0;
+  std::function<void(const GridRecord&)> grid_observer_;
 };
 
 }  // namespace pagoda::gpu

@@ -49,6 +49,8 @@ class KernelExecution {
   sim::Trigger done;        // fires when the last threadblock retires
   int next_block = 0;       // next threadblock index to place
   int blocks_finished = 0;
+  std::int64_t grid_id = 0;   // launch-order id (observability)
+  sim::Time launched = 0;     // when the dispatcher accepted the grid
 
   bool all_placed() const { return next_block >= params.num_blocks; }
   bool finished() const { return blocks_finished >= params.num_blocks; }

@@ -105,6 +105,14 @@ class Smm {
   /// ∫ resident-warp dt, for achieved-occupancy reporting.
   double resident_warp_seconds() const { return resident_integral_current(); }
 
+  /// Residency integral extrapolated to `at` without mutating any state.
+  /// `at` must not precede the last reserve/release; reads clamped to it.
+  double resident_warp_seconds_at(sim::Time at) const {
+    const sim::Time t = at > last_touch_ ? at : last_touch_;
+    return resident_integral_ + static_cast<double>(resident_warps_prev_) *
+                                    sim::to_seconds(t - last_touch_);
+  }
+
   /// Integrates the occupancy over the elapsed interval (at the previous
   /// residency) and snapshots the current residency. Called internally on
   /// every reserve/release and by readers before reporting.

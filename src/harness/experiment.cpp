@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "common/check.h"
+#include "obs/collector.h"
 
 namespace pagoda::harness {
 
@@ -53,6 +54,11 @@ Measurement run_experiment(std::string_view workload_name,
   PAGODA_CHECK_MSG(m.result.completed, "experiment did not complete in time");
   if (rcfg.mode == gpu::ExecMode::Compute) {
     PAGODA_CHECK_MSG(wl->verify(), "workload output verification failed");
+  }
+  if (rcfg.collector != nullptr) {
+    obs::Histogram& h = rcfg.collector->metrics().histogram("task.latency_us");
+    for (const double us : m.result.task_latency_us) h.add(us);
+    m.metrics = rcfg.collector->metrics();
   }
   return m;
 }

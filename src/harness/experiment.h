@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "baselines/task_runtime.h"
+#include "obs/metrics.h"
 #include "workloads/workload.h"
 
 namespace pagoda::harness {
@@ -16,6 +17,10 @@ struct Measurement {
   std::string workload;
   std::string runtime;
   baselines::RunResult result;
+  /// Snapshot of the run's metrics registry when the RunConfig carried an
+  /// obs::Collector (empty otherwise). Includes a `task.latency_us` log2
+  /// histogram when per-task latencies were collected.
+  obs::MetricsRegistry metrics;
 };
 
 /// Generates the workload (applying per-runtime constraints: GeMTC gets the

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <initializer_list>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -36,6 +37,30 @@ class Flags {
   std::int64_t get_int(std::string_view name, std::int64_t def) const {
     const std::string v = get(name);
     return v.empty() ? def : std::strtoll(v.c_str(), nullptr, 10);
+  }
+
+  /// First argument that is not `--name` or `--name=value` for a name in
+  /// `known` (including anything that is not a `--flag` at all); empty when
+  /// every argument is recognized. Lets binaries reject typos instead of
+  /// silently ignoring them.
+  std::string unknown(std::initializer_list<std::string_view> known) const {
+    for (const std::string& a : args_) {
+      if (a.rfind("--", 0) != 0) return a;
+      const std::size_t eq = a.find('=');
+      const std::string_view name =
+          std::string_view(a).substr(2, eq == std::string::npos
+                                            ? std::string::npos
+                                            : eq - 2);
+      bool recognized = false;
+      for (const std::string_view k : known) {
+        if (name == k) {
+          recognized = true;
+          break;
+        }
+      }
+      if (!recognized) return a;
+    }
+    return {};
   }
 
  private:

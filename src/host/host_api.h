@@ -51,6 +51,8 @@ class CpuCluster {
   double busy_core_seconds() const {
     return pool_.busy_work_seconds() / core_ops_per_sec_;
   }
+  /// Tasks currently executing or queued on the pool (observability).
+  int active_tasks() const { return pool_.active_jobs(); }
 
  private:
   int cores_;

@@ -1,0 +1,362 @@
+#include "obs/collector.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.h"
+#include "gpu/device.h"
+#include "host/host_api.h"
+#include "pagoda/runtime.h"
+
+namespace pagoda::obs {
+
+namespace {
+
+std::string smm_key(int index, const char* suffix) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "gpu.smm%02d.%s", index, suffix);
+  return buf;
+}
+
+}  // namespace
+
+Collector::Collector(CollectorConfig cfg) : cfg_(cfg) {
+  PAGODA_CHECK(cfg_.sample_period > 0);
+}
+
+void Collector::ensure_sampler(sim::Simulation& sim) {
+  if (sim_ != nullptr) {
+    PAGODA_CHECK_MSG(sim_ == &sim, "Collector attached to two simulations");
+    return;
+  }
+  sim_ = &sim;
+  last_sample_ = sim.now();
+  if (cfg_.timeline) track_tasks_ = timeline_.track("tasks");
+  schedule_tick();
+}
+
+void Collector::schedule_tick() {
+  tick_event_ = sim_->after(cfg_.sample_period, [this] { tick(); });
+}
+
+void Collector::tick() {
+  tick_event_ = 0;
+  if (finished_) return;
+  // The tick was the last pending event: the run has drained (no process can
+  // wake without an event), so stop sampling instead of ticking forever.
+  // Skipping the sample keeps every recorded time <= the run's end time.
+  if (sim_->pending_events() == 0) return;
+  sample(sim_->now());
+  schedule_tick();
+}
+
+void Collector::sample(sim::Time now) {
+  const double window = sim::to_seconds(now - last_sample_);
+  last_sample_ = now;
+
+  if (dev_ != nullptr) {
+    int resident_total = 0;
+    double util_sum = 0.0;
+    for (int i = 0; i < dev_->num_smms(); ++i) {
+      gpu::Smm& smm = dev_->smm(i);
+      const int resident = smm.resident_warps();
+      resident_total += resident;
+      metrics_.stat(smm_key(i, "resident_warps"))
+          .add(static_cast<double>(resident));
+      const double busy = smm.pipeline().busy_work_seconds();
+      const auto u = static_cast<std::size_t>(i);
+      const double util =
+          window > 0.0 ? (busy - prev_smm_busy_[u]) /
+                             (smm.pipeline().capacity() * window)
+                       : 0.0;
+      prev_smm_busy_[u] = busy;
+      metrics_.stat(smm_key(i, "issue_utilization")).add(util);
+      util_sum += util;
+    }
+    const double util_mean =
+        util_sum / static_cast<double>(dev_->num_smms());
+    metrics_.stat("gpu.resident_warps")
+        .add(static_cast<double>(resident_total));
+    metrics_.stat("gpu.issue_utilization").add(util_mean);
+
+    const auto unplaced = dev_->dispatcher().unplaced_blocks();
+    metrics_.stat("gpu.launch_queue.unplaced_blocks")
+        .add(static_cast<double>(unplaced));
+
+    sim::Link& h2d = dev_->pcie().link(pcie::Direction::HostToDevice);
+    sim::Link& d2h = dev_->pcie().link(pcie::Direction::DeviceToHost);
+    const double h2d_gbps =
+        window > 0.0 ? static_cast<double>(h2d.bytes_transferred() -
+                                           prev_h2d_bytes_) /
+                           window / 1e9
+                     : 0.0;
+    const double d2h_gbps =
+        window > 0.0 ? static_cast<double>(d2h.bytes_transferred() -
+                                           prev_d2h_bytes_) /
+                           window / 1e9
+                     : 0.0;
+    prev_h2d_bytes_ = h2d.bytes_transferred();
+    prev_d2h_bytes_ = d2h.bytes_transferred();
+    metrics_.stat("pcie.h2d.gbps").add(h2d_gbps);
+    metrics_.stat("pcie.d2h.gbps").add(d2h_gbps);
+
+    if (cfg_.timeline) {
+      timeline_.counter("gpu.resident_warps", now,
+                        static_cast<double>(resident_total));
+      timeline_.counter("gpu.issue_utilization", now, util_mean);
+      timeline_.counter("gpu.launch_queue.unplaced_blocks", now,
+                        static_cast<double>(unplaced));
+      timeline_.counter("pcie.h2d.gbps", now, h2d_gbps);
+      timeline_.counter("pcie.d2h.gbps", now, d2h_gbps);
+    }
+  }
+
+  if (rt_ != nullptr) {
+    const runtime::TaskTable& table = rt_->gpu_table();
+    int free = 0;
+    int params_copied = 0;
+    int scheduling = 0;
+    int chained = 0;
+    for (int c = 0; c < table.columns(); ++c) {
+      for (int r = 0; r < table.rows(); ++r) {
+        const std::int32_t ready = table.at(c, r).ready;
+        if (ready == runtime::kReadyFree) {
+          free += 1;
+        } else if (ready == runtime::kReadyParamsCopied) {
+          params_copied += 1;
+        } else if (ready == runtime::kReadyScheduling) {
+          scheduling += 1;
+        } else {
+          chained += 1;  // carries a predecessor TaskId (spawn pipeline)
+        }
+      }
+    }
+    const int fill = table.size() - free;
+    metrics_.stat("pagoda.tasktable.fill").add(static_cast<double>(fill));
+    metrics_.stat("pagoda.tasktable.free").add(static_cast<double>(free));
+    metrics_.stat("pagoda.tasktable.params_copied")
+        .add(static_cast<double>(params_copied));
+    metrics_.stat("pagoda.tasktable.scheduling")
+        .add(static_cast<double>(scheduling));
+    metrics_.stat("pagoda.tasktable.chained")
+        .add(static_cast<double>(chained));
+
+    const runtime::MasterKernel& mk = rt_->master_kernel();
+    metrics_.stat("pagoda.executors.busy")
+        .add(static_cast<double>(mk.busy_executor_warps()));
+    metrics_.stat("pagoda.shmem.bytes_in_use")
+        .add(static_cast<double>(mk.shmem_bytes_in_use()));
+
+    if (cfg_.timeline) {
+      timeline_.counter("pagoda.tasktable.fill", now,
+                        static_cast<double>(fill));
+      timeline_.counter("pagoda.executors.busy", now,
+                        static_cast<double>(mk.busy_executor_warps()));
+      timeline_.counter("pagoda.shmem.bytes_in_use", now,
+                        static_cast<double>(mk.shmem_bytes_in_use()));
+    }
+  }
+
+  if (cpu_ != nullptr) {
+    metrics_.stat("cpu.active_tasks")
+        .add(static_cast<double>(cpu_->active_tasks()));
+    if (cfg_.timeline) {
+      timeline_.counter("cpu.active_tasks", now,
+                        static_cast<double>(cpu_->active_tasks()));
+    }
+  }
+}
+
+void Collector::attach_device(gpu::Device& dev) {
+  PAGODA_CHECK_MSG(dev_ == nullptr, "device attached twice");
+  ensure_sampler(dev.sim());
+  dev_ = &dev;
+  prev_smm_busy_.assign(static_cast<std::size_t>(dev.num_smms()), 0.0);
+  prev_h2d_bytes_ =
+      dev.pcie().link(pcie::Direction::HostToDevice).bytes_transferred();
+  prev_d2h_bytes_ =
+      dev.pcie().link(pcie::Direction::DeviceToHost).bytes_transferred();
+
+  if (cfg_.timeline) {
+    track_h2d_ = timeline_.track("pcie.h2d");
+    track_d2h_ = timeline_.track("pcie.d2h");
+    track_grids_ = timeline_.track("gpu.grids");
+    dev.pcie()
+        .link(pcie::Direction::HostToDevice)
+        .set_observer([this](const sim::Link::TransferRecord& t) {
+          timeline_.span(track_h2d_, "copy", t.wire_start, t.wire_end);
+        });
+    dev.pcie()
+        .link(pcie::Direction::DeviceToHost)
+        .set_observer([this](const sim::Link::TransferRecord& t) {
+          timeline_.span(track_d2h_, "copy", t.wire_start, t.wire_end);
+        });
+    dev.dispatcher().set_grid_observer(
+        [this](const gpu::BlockDispatcher::GridRecord& g) {
+          timeline_.span(track_grids_, "grid", g.launched, g.completed);
+        });
+  }
+}
+
+void Collector::attach_pagoda(runtime::Runtime& rt) {
+  PAGODA_CHECK_MSG(rt_ == nullptr, "Pagoda runtime attached twice");
+  ensure_sampler(rt.device().sim());
+  rt_ = &rt;
+  if (trace_enabled()) rt.set_trace_recorder(&trace_);
+}
+
+void Collector::attach_cpu(sim::Simulation& sim, const host::CpuCluster& cpu) {
+  PAGODA_CHECK_MSG(cpu_ == nullptr, "CPU cluster attached twice");
+  ensure_sampler(sim);
+  cpu_ = &cpu;
+}
+
+void Collector::task_span(sim::Time start, sim::Time end) {
+  if (!cfg_.timeline) return;
+  if (start < 0 || end < start) return;
+  timeline_.span(track_tasks_, "task", start, end);
+}
+
+void Collector::finish(sim::Time end_time, std::int64_t tasks) {
+  PAGODA_CHECK_MSG(!finished_, "Collector finished twice");
+  finished_ = true;
+  if (sim_ != nullptr && tick_event_ != 0) {
+    sim_->cancel(tick_event_);
+    tick_event_ = 0;
+  }
+
+  const double elapsed = sim::to_seconds(end_time);
+  metrics_.gauge("run.elapsed_ms").set(sim::to_milliseconds(end_time));
+  metrics_.counter("run.tasks").set(tasks);
+
+  if (dev_ != nullptr) {
+    sim::Link& h2d = dev_->pcie().link(pcie::Direction::HostToDevice);
+    sim::Link& d2h = dev_->pcie().link(pcie::Direction::DeviceToHost);
+    metrics_.counter("pcie.h2d.bytes").set(h2d.bytes_transferred());
+    metrics_.counter("pcie.h2d.transfers").set(h2d.transfers_completed());
+    metrics_.counter("pcie.d2h.bytes").set(d2h.bytes_transferred());
+    metrics_.counter("pcie.d2h.transfers").set(d2h.transfers_completed());
+    if (elapsed > 0.0) {
+      metrics_.gauge("pcie.h2d.achieved_gbps")
+          .set(static_cast<double>(h2d.bytes_transferred()) / elapsed / 1e9);
+      metrics_.gauge("pcie.d2h.achieved_gbps")
+          .set(static_cast<double>(d2h.bytes_transferred()) / elapsed / 1e9);
+      metrics_.gauge("pcie.h2d.wire_utilization")
+          .set(sim::to_seconds(h2d.busy_time()) / elapsed);
+      metrics_.gauge("pcie.d2h.wire_utilization")
+          .set(sim::to_seconds(d2h.busy_time()) / elapsed);
+    }
+    metrics_.counter("gpu.grids_launched")
+        .set(dev_->dispatcher().grids_launched());
+    metrics_.counter("gpu.blocks_started")
+        .set(dev_->dispatcher().blocks_started());
+
+    // Achieved occupancy over [0, end_time]. For Pagoda the MasterKernel owns
+    // every warp slot, so residency is meaningless — use the executor-warp
+    // busy integral instead, as the paper's occupancy numbers do.
+    if (elapsed > 0.0) {
+      const double capacity =
+          static_cast<double>(dev_->spec().max_resident_warps());
+      double occupancy = 0.0;
+      if (rt_ != nullptr) {
+        occupancy = rt_->master_kernel().executor_busy_warp_seconds() /
+                    (elapsed * capacity);
+      } else {
+        // Extrapolate residency to end_time, not sim.now(): after the event
+        // queue drains the clock sits at the run's time cap, and runtimes
+        // whose warps are still resident at the end (GeMTC's persistent
+        // workers) would integrate residency across the whole cap.
+        double resident_seconds = 0.0;
+        for (int i = 0; i < dev_->num_smms(); ++i) {
+          resident_seconds += dev_->smm(i).resident_warp_seconds_at(end_time);
+        }
+        occupancy = resident_seconds / (elapsed * capacity);
+      }
+      metrics_.gauge("gpu.occupancy.achieved").set(occupancy);
+    }
+  }
+
+  if (rt_ != nullptr) {
+    const runtime::Runtime::Stats& st = rt_->stats();
+    metrics_.counter("pagoda.tasks_spawned").set(st.tasks_spawned);
+    metrics_.counter("pagoda.entry_copies").set(st.entry_copies);
+    metrics_.counter("pagoda.aggregate_copybacks")
+        .set(st.aggregate_copybacks);
+    metrics_.counter("pagoda.single_copybacks").set(st.single_copybacks);
+    metrics_.counter("pagoda.flushes").set(st.flushes);
+
+    const runtime::MasterKernel& mk = rt_->master_kernel();
+    metrics_.counter("pagoda.tasks_scheduled").set(mk.tasks_scheduled());
+    metrics_.counter("pagoda.tasks_completed").set(mk.tasks_completed());
+    metrics_.counter("pagoda.warps_dispatched").set(mk.warps_dispatched());
+    metrics_.counter("pagoda.shmem.allocs").set(mk.shmem_alloc_successes());
+    metrics_.counter("pagoda.shmem.alloc_failures")
+        .set(mk.shmem_alloc_failures());
+    metrics_.counter("pagoda.shmem.sweeps").set(mk.shmem_sweeps());
+    metrics_.counter("pagoda.shmem.blocks_swept").set(mk.shmem_blocks_swept());
+    metrics_.gauge("pagoda.shmem.peak_bytes")
+        .set(static_cast<double>(mk.shmem_peak_arena_bytes()));
+    if (elapsed > 0.0) {
+      metrics_.gauge("pagoda.sched.busy_fraction")
+          .set(mk.scheduler_busy_seconds() /
+               (elapsed * static_cast<double>(mk.num_mtbs())));
+      const double per_mtb_capacity =
+          elapsed * static_cast<double>(runtime::MasterKernel::kExecutorWarps);
+      double total_busy = 0.0;
+      for (int m = 0; m < mk.num_mtbs(); ++m) {
+        const double busy = mk.executor_busy_warp_seconds(m);
+        total_busy += busy;
+        metrics_.stat("pagoda.mtb.executor_utilization")
+            .add(busy / per_mtb_capacity);
+      }
+      metrics_.gauge("pagoda.executors.utilization")
+          .set(total_busy /
+               (per_mtb_capacity * static_cast<double>(mk.num_mtbs())));
+    }
+
+    // Final TaskTable state census (usually all free on a completed run).
+    const runtime::TaskTable& table = rt_->gpu_table();
+    int free = 0;
+    int params_copied = 0;
+    int scheduling = 0;
+    int chained = 0;
+    for (int c = 0; c < table.columns(); ++c) {
+      for (int r = 0; r < table.rows(); ++r) {
+        const std::int32_t ready = table.at(c, r).ready;
+        if (ready == runtime::kReadyFree) {
+          free += 1;
+        } else if (ready == runtime::kReadyParamsCopied) {
+          params_copied += 1;
+        } else if (ready == runtime::kReadyScheduling) {
+          scheduling += 1;
+        } else {
+          chained += 1;
+        }
+      }
+    }
+    metrics_.counter("pagoda.tasktable.final.free").set(free);
+    metrics_.counter("pagoda.tasktable.final.params_copied")
+        .set(params_copied);
+    metrics_.counter("pagoda.tasktable.final.scheduling").set(scheduling);
+    metrics_.counter("pagoda.tasktable.final.chained").set(chained);
+
+    if (cfg_.timeline) {
+      const Timeline::TrackId spawn_track = timeline_.track("pagoda.spawn");
+      const Timeline::TrackId exec_track = timeline_.track("pagoda.tasks");
+      for (const runtime::TraceRecorder::TaskTimeline& t :
+           trace_.timelines()) {
+        if (!t.complete()) continue;
+        timeline_.span(spawn_track, "spawn", t.spawned, t.entry_copied);
+        timeline_.span(exec_track, "task", t.scheduled, t.completed);
+      }
+    }
+  }
+
+  if (cpu_ != nullptr && elapsed > 0.0) {
+    metrics_.gauge("cpu.busy_fraction")
+        .set(cpu_->busy_core_seconds() /
+             (elapsed * static_cast<double>(cpu_->cores())));
+  }
+}
+
+}  // namespace pagoda::obs

@@ -1,0 +1,123 @@
+// The Collector ties the metrics registry and the timeline to a running
+// simulation: drivers attach the structures they own (Device, Pagoda
+// Runtime, CpuCluster) and the Collector installs read-only observers plus a
+// periodic sampler process that rides the virtual clock.
+//
+// Invariants the whole observability layer depends on:
+//  * Sampling is PASSIVE. The sampler event and every observer only read
+//    simulation state; they never signal, allocate simulated resources or
+//    advance any process. A run with a Collector attached is event-for-event
+//    identical to the same run without one.
+//  * Everything recorded derives from virtual time, so two identically
+//    seeded runs produce byte-identical snapshots (the determinism test
+//    pins this).
+//
+// Lifecycle: construct -> attach_*() while the drivers build their run state
+// -> (simulation runs; sampler ticks) -> finish(end_time, tasks) BEFORE the
+// Simulation is destroyed. A Collector serves exactly one run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time_types.h"
+#include "obs/metrics.h"
+#include "obs/timeline.h"
+#include "pagoda/trace.h"
+#include "sim/simulation.h"
+
+namespace pagoda::gpu {
+class Device;
+}
+namespace pagoda::host {
+class CpuCluster;
+}
+namespace pagoda::runtime {
+class Runtime;
+}
+
+namespace pagoda::obs {
+
+struct CollectorConfig {
+  /// Sampler cadence (virtual time) for occupancy/utilization/queue-depth
+  /// series. The sampler stops by itself when the event queue drains.
+  sim::Duration sample_period = sim::microseconds(20.0);
+  /// Record spans + counter tracks for a Chrome/Perfetto profile.
+  bool timeline = false;
+  /// Record the Pagoda protocol event trace (implied by `timeline` for
+  /// Pagoda runs; also used standalone by `pagoda_cli --trace`).
+  bool trace = false;
+};
+
+class Collector {
+ public:
+  explicit Collector(CollectorConfig cfg = {});
+  Collector(const Collector&) = delete;
+  Collector& operator=(const Collector&) = delete;
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  Timeline& timeline() { return timeline_; }
+  const Timeline& timeline() const { return timeline_; }
+  bool timeline_enabled() const { return cfg_.timeline; }
+  bool trace_enabled() const { return cfg_.trace || cfg_.timeline; }
+  /// The Pagoda protocol trace recorded when trace_enabled(). Valid for the
+  /// Collector's lifetime.
+  const runtime::TraceRecorder& trace() const { return trace_; }
+
+  // --- driver hooks --------------------------------------------------------
+  /// Installs SMM/PCIe/dispatcher samplers and observers. Call once, before
+  /// the workload starts (time 0).
+  void attach_device(gpu::Device& dev);
+
+  /// Adds TaskTable / MasterKernel / shmem sampling; wires the protocol
+  /// trace recorder into the runtime when tracing is on.
+  void attach_pagoda(runtime::Runtime& rt);
+
+  /// CPU-pool sampling for the host-only baselines.
+  void attach_cpu(sim::Simulation& sim, const host::CpuCluster& cpu);
+
+  /// One executed task interval on the generic "tasks" track (timeline
+  /// only). Ignores incomplete intervals (start or end unset).
+  void task_span(sim::Time start, sim::Time end);
+
+  /// Finalizes the run: stops the sampler, snapshots the end-of-run gauges
+  /// and counters and converts the protocol trace into timeline spans. Must
+  /// run before the attached Simulation is destroyed; `end_time` is the
+  /// driver's recorded completion time (virtual).
+  void finish(sim::Time end_time, std::int64_t tasks);
+  bool finished() const { return finished_; }
+
+ private:
+  void ensure_sampler(sim::Simulation& sim);
+  void schedule_tick();
+  void tick();
+  void sample(sim::Time now);
+
+  CollectorConfig cfg_;
+  MetricsRegistry metrics_;
+  Timeline timeline_;
+  runtime::TraceRecorder trace_;
+
+  sim::Simulation* sim_ = nullptr;
+  gpu::Device* dev_ = nullptr;
+  runtime::Runtime* rt_ = nullptr;
+  const host::CpuCluster* cpu_ = nullptr;
+
+  sim::EventId tick_event_ = 0;
+  sim::Time last_sample_ = 0;
+  bool finished_ = false;
+
+  // Windowed-delta state for rate series.
+  std::vector<double> prev_smm_busy_;   // busy_work_seconds per SMM
+  std::int64_t prev_h2d_bytes_ = 0;
+  std::int64_t prev_d2h_bytes_ = 0;
+
+  // Interned timeline handles (valid when timeline_enabled()).
+  Timeline::TrackId track_tasks_ = 0;
+  Timeline::TrackId track_h2d_ = 0;
+  Timeline::TrackId track_d2h_ = 0;
+  Timeline::TrackId track_grids_ = 0;
+};
+
+}  // namespace pagoda::obs

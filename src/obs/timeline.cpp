@@ -1,0 +1,134 @@
+#include "obs/timeline.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+
+namespace pagoda::obs {
+
+Timeline::TrackId Timeline::track(std::string_view name) {
+  if (const auto it = track_index_.find(name); it != track_index_.end()) {
+    return it->second;
+  }
+  const auto id = static_cast<TrackId>(track_names_.size());
+  track_names_.emplace_back(name);
+  track_index_.emplace(std::string(name), id);
+  return id;
+}
+
+int Timeline::intern(std::string_view name) {
+  if (const auto it = name_index_.find(name); it != name_index_.end()) {
+    return it->second;
+  }
+  const auto id = static_cast<int>(names_.size());
+  names_.emplace_back(name);
+  name_index_.emplace(std::string(name), id);
+  return id;
+}
+
+void Timeline::span(TrackId t, std::string_view name, sim::Time start,
+                    sim::Time end) {
+  PAGODA_CHECK_MSG(end >= start, "timeline span with negative duration");
+  spans_.push_back(Span{t, intern(name), start, end});
+}
+
+void Timeline::instant(TrackId t, std::string_view name, sim::Time time) {
+  instants_.push_back(Instant{t, intern(name), time});
+}
+
+void Timeline::counter(std::string_view series, sim::Time time, double value) {
+  PAGODA_CHECK_MSG(value >= 0.0, "counter-track values must be non-negative");
+  const int id = intern(series);
+  // Samples of one series must ride the virtual clock forward.
+  auto [it, inserted] = counter_last_time_.try_emplace(id, time);
+  if (!inserted) {
+    PAGODA_CHECK_MSG(time >= it->second,
+                     "counter samples must be monotone in time");
+    it->second = time;
+  }
+  counter_samples_.push_back(CounterSample{id, time, value});
+}
+
+void Timeline::clear() {
+  spans_.clear();
+  instants_.clear();
+  counter_samples_.clear();
+  counter_last_time_.clear();
+}
+
+namespace {
+
+void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void Timeline::write_chrome_trace(std::ostream& os) const {
+  os << "[";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+  // Thread-name metadata so tracks render with their names.
+  for (std::size_t t = 0; t < track_names_.size(); ++t) {
+    comma();
+    os << R"({"name":"thread_name","ph":"M","pid":0,"tid":)" << t
+       << R"(,"args":{"name":)";
+    write_json_string(os, track_names_[t]);
+    os << "}}";
+  }
+  for (const Span& s : spans_) {
+    comma();
+    os << R"({"name":)";
+    write_json_string(os, name_of(s.name));
+    os << R"(,"ph":"X","ts":)" << format_metric_double(sim::to_microseconds(s.start))
+       << R"(,"dur":)" << format_metric_double(sim::to_microseconds(s.end - s.start))
+       << R"(,"pid":0,"tid":)" << s.track << "}";
+  }
+  for (const Instant& i : instants_) {
+    comma();
+    os << R"({"name":)";
+    write_json_string(os, name_of(i.name));
+    os << R"(,"ph":"i","s":"t","ts":)"
+       << format_metric_double(sim::to_microseconds(i.time)) << R"(,"pid":0,"tid":)"
+       << i.track << "}";
+  }
+  for (const CounterSample& c : counter_samples_) {
+    comma();
+    os << R"({"name":)";
+    write_json_string(os, name_of(c.series));
+    os << R"(,"ph":"C","ts":)" << format_metric_double(sim::to_microseconds(c.time))
+       << R"(,"pid":0,"args":{"value":)" << format_metric_double(c.value) << "}}";
+  }
+  os << "]\n";
+}
+
+void Timeline::write_csv(std::ostream& os) const {
+  os << "time_us,kind,track,name,value\n";
+  for (const Span& s : spans_) {
+    os << sim::to_microseconds(s.start) << ",span,"
+       << track_names_[static_cast<std::size_t>(s.track)] << ','
+       << name_of(s.name) << ',' << sim::to_microseconds(s.end - s.start)
+       << '\n';
+  }
+  for (const Instant& i : instants_) {
+    os << sim::to_microseconds(i.time) << ",instant,"
+       << track_names_[static_cast<std::size_t>(i.track)] << ','
+       << name_of(i.name) << ",\n";
+  }
+  for (const CounterSample& c : counter_samples_) {
+    os << sim::to_microseconds(c.time) << ",counter,," << name_of(c.series)
+       << ',' << format_metric_double(c.value) << '\n';
+  }
+}
+
+}  // namespace pagoda::obs

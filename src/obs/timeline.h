@@ -1,0 +1,108 @@
+// Generic runtime timeline: duration spans, instant events and counter
+// tracks, emitted by *every* runtime (not just Pagoda) and exported as
+// Chrome trace-event JSON (open in chrome://tracing or ui.perfetto.dev).
+//
+// The timeline is a passive append-only sink, like pagoda::runtime's
+// TraceRecorder but runtime-agnostic:
+//   * spans   — named intervals on named tracks (task execution, kernel
+//               grids, memcpys, scheduler activity). Tracks map to Chrome
+//               "threads"; a metadata event names each one.
+//   * instants — point events on a track (protocol steps).
+//   * counters — named time series rendered by Perfetto as counter tracks
+//               (occupancy per SMM, PCIe bandwidth, TaskTable fill,
+//               shared-memory usage).
+//
+// Everything is keyed by interned ids and recorded in insertion order; with
+// a deterministic simulation the serialized output is byte-stable.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/time_types.h"
+
+namespace pagoda::obs {
+
+class Timeline {
+ public:
+  using TrackId = int;
+
+  /// Interns a track (Chrome "thread") by name; same name, same id.
+  TrackId track(std::string_view name);
+
+  /// A named interval [start, end] on a track.
+  void span(TrackId track, std::string_view name, sim::Time start,
+            sim::Time end);
+
+  /// A point event on a track.
+  void instant(TrackId track, std::string_view name, sim::Time time);
+
+  /// One sample of a counter series. Values must be non-negative and sample
+  /// times non-decreasing per series (the samplers ride the virtual clock,
+  /// so this holds by construction; the writer asserts it).
+  void counter(std::string_view series, sim::Time time, double value);
+
+  std::size_t num_spans() const { return spans_.size(); }
+  std::size_t num_instants() const { return instants_.size(); }
+  std::size_t num_counter_samples() const { return counter_samples_.size(); }
+  std::size_t num_tracks() const { return track_names_.size(); }
+  bool empty() const {
+    return spans_.empty() && instants_.empty() && counter_samples_.empty();
+  }
+  void clear();
+
+  /// Chrome trace-event JSON: thread-name metadata, "X" duration slices,
+  /// "i" instants and "C" counter events. Timestamps in microseconds.
+  void write_chrome_trace(std::ostream& os) const;
+
+  /// CSV dump: time_us,kind(span|instant|counter),track,name,dur_us|value
+  void write_csv(std::ostream& os) const;
+
+  // --- introspection for tests --------------------------------------------
+  struct Span {
+    TrackId track;
+    int name;  // interned
+    sim::Time start;
+    sim::Time end;
+  };
+  struct Instant {
+    TrackId track;
+    int name;
+    sim::Time time;
+  };
+  struct CounterSample {
+    int series;  // interned counter-series name
+    sim::Time time;
+    double value;
+  };
+  const std::vector<Span>& spans() const { return spans_; }
+  const std::vector<CounterSample>& counter_samples() const {
+    return counter_samples_;
+  }
+  std::string_view name_of(int interned) const { return names_[static_cast<std::size_t>(interned)]; }
+  std::string_view track_name(TrackId t) const {
+    return track_names_[static_cast<std::size_t>(t)];
+  }
+  std::string_view series_name(int interned) const {
+    return name_of(interned);
+  }
+
+ private:
+  int intern(std::string_view name);
+
+  std::vector<std::string> track_names_;
+  std::map<std::string, TrackId, std::less<>> track_index_;
+  std::vector<std::string> names_;  // interned span/instant/series names
+  std::map<std::string, int, std::less<>> name_index_;
+  /// Last sample time per counter series, for the monotonicity check.
+  std::map<int, sim::Time> counter_last_time_;
+  std::vector<Span> spans_;
+  std::vector<Instant> instants_;
+  std::vector<CounterSample> counter_samples_;
+};
+
+}  // namespace pagoda::obs

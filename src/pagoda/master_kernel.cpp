@@ -33,17 +33,78 @@ sim::Duration MasterKernel::stall_to_time(double cycles) const {
   return static_cast<sim::Duration>(cycles * 1e12 / dev_.spec().clock_hz);
 }
 
-void MasterKernel::touch_busy(int delta) {
+void MasterKernel::touch_busy(Mtb& mtb, int delta) {
   const sim::Time now = dev_.sim().now();
   busy_integral_ += static_cast<double>(busy_warps_) *
                     sim::to_seconds(now - busy_last_touch_);
   busy_last_touch_ = now;
   busy_warps_ += delta;
+  mtb.busy_integral += static_cast<double>(mtb.busy_warps) *
+                       sim::to_seconds(now - mtb.busy_last_touch);
+  mtb.busy_last_touch = now;
+  mtb.busy_warps += delta;
 }
 
 double MasterKernel::executor_busy_warp_seconds() const {
-  const_cast<MasterKernel*>(this)->touch_busy(0);
-  return busy_integral_;
+  const sim::Time now = dev_.sim().now();
+  return busy_integral_ + static_cast<double>(busy_warps_) *
+                              sim::to_seconds(now - busy_last_touch_);
+}
+
+double MasterKernel::executor_busy_warp_seconds(int mtb_index) const {
+  PAGODA_CHECK(mtb_index >= 0 &&
+               mtb_index < static_cast<int>(mtbs_.size()));
+  const Mtb& mtb = *mtbs_[static_cast<std::size_t>(mtb_index)];
+  const sim::Time now = dev_.sim().now();
+  return mtb.busy_integral + static_cast<double>(mtb.busy_warps) *
+                                 sim::to_seconds(now - mtb.busy_last_touch);
+}
+
+sim::Task<> MasterKernel::sched_charge(Mtb& mtb, double cycles) {
+  sched_cycles_ += cycles;
+  co_await mtb.smm->execute(cycles);
+}
+
+double MasterKernel::scheduler_busy_seconds() const {
+  return sched_cycles_ / dev_.spec().clock_hz;
+}
+
+int MasterKernel::free_executor_slots() const {
+  int n = 0;
+  for (const auto& mtb : mtbs_) n += mtb->free_slots;
+  return n;
+}
+
+std::int64_t MasterKernel::shmem_bytes_in_use() const {
+  std::int64_t n = 0;
+  for (const auto& mtb : mtbs_) n += mtb->shmem.allocated_bytes();
+  return n;
+}
+
+std::int32_t MasterKernel::shmem_peak_arena_bytes() const {
+  std::int32_t peak = 0;
+  for (const auto& mtb : mtbs_) {
+    peak = std::max(peak, mtb->shmem.peak_allocated_bytes());
+  }
+  return peak;
+}
+
+std::int64_t MasterKernel::shmem_alloc_successes() const {
+  std::int64_t n = 0;
+  for (const auto& mtb : mtbs_) n += mtb->shmem.alloc_successes();
+  return n;
+}
+
+std::int64_t MasterKernel::shmem_alloc_failures() const {
+  std::int64_t n = 0;
+  for (const auto& mtb : mtbs_) n += mtb->shmem.alloc_failures();
+  return n;
+}
+
+std::int64_t MasterKernel::shmem_sweeps() const {
+  std::int64_t n = 0;
+  for (const auto& mtb : mtbs_) n += mtb->shmem.sweeps();
+  return n;
 }
 
 void MasterKernel::start() {
@@ -80,10 +141,11 @@ void MasterKernel::shutdown() {
   const gpu::BlockFootprint mtb_footprint =
       gpu::BlockFootprint::of(kWarpsPerMtb * 32, 32, arena_bytes_);
   for (auto& mtb : mtbs_) {
-    // Wake every parked warp so its process observes running_ == false and
-    // returns; anything still parked is reclaimed by the Condition dtors.
-    wake_scheduler(*mtb);
-    mtb->exec_cv.notify_all();
+    // Leave parked warps parked: with running_ false nothing re-arms them,
+    // and the Condition destructors reclaim the suspended frames. Notifying
+    // here instead would move the handles into resume events that never run
+    // (drivers shut down after the event queue has drained), leaking every
+    // warp frame.
     mtb->smm->release(mtb_footprint);
   }
 }
@@ -117,7 +179,7 @@ sim::Task<bool> MasterKernel::scan_once(Mtb& mtb) {
   bool progress = false;
   // Cost of one pass over the column: the scheduler warp's 32 threads scan
   // the 32 rows in parallel.
-  co_await mtb.smm->execute(cfg_.scan_pass_cycles);
+  co_await sched_charge(mtb, cfg_.scan_pass_cycles);
   for (int row = 0; row < cfg_.rows_per_column && running_; ++row) {
     TaskEntry& entry = gpu_table_.at(mtb.column, row);
 
@@ -128,7 +190,7 @@ sim::Task<bool> MasterKernel::scan_once(Mtb& mtb) {
       const TaskId prev_id = entry.ready;
       TaskEntry& prev = gpu_table_.by_id(prev_id);
       if (prev.ready == kReadyParamsCopied) {
-        co_await mtb.smm->execute(cfg_.release_chain_cycles);
+        co_await sched_charge(mtb, cfg_.release_chain_cycles);
         prev.ready = kReadyScheduling;
         prev.sched = 1;
         entry.ready = kReadyParamsCopied;
@@ -188,7 +250,7 @@ sim::Task<> MasterKernel::schedule_entry(Mtb& mtb, int row) {
         }
         if (!running_) co_return;
         block->bar_id = mtb.barriers.acquire(p.warps_per_block());
-        co_await mtb.smm->execute(cfg_.barrier_mgmt_cycles);
+        co_await sched_charge(mtb, cfg_.barrier_mgmt_cycles);
       }
       if (p.shared_mem_bytes > 0) {
         // Lines 20-24: sweep deferred deallocations, then try to allocate;
@@ -196,11 +258,11 @@ sim::Task<> MasterKernel::schedule_entry(Mtb& mtb, int row) {
         while (running_) {
           if (mtb.shmem.has_deferred()) {
             shmem_blocks_swept_ += mtb.shmem.sweep_deferred();
-            co_await mtb.smm->execute(cfg_.shmem_sweep_cycles);
+            co_await sched_charge(mtb, cfg_.shmem_sweep_cycles);
           }
           const std::uint64_t seq = mtb.sched_seq;
           const auto offset = mtb.shmem.allocate(p.shared_mem_bytes);
-          co_await mtb.smm->execute(cfg_.shmem_alloc_cycles);
+          co_await sched_charge(mtb, cfg_.shmem_alloc_cycles);
           if (offset.has_value()) {
             block->sm_offset = *offset;
             block->sm_bytes = p.shared_mem_bytes;
@@ -252,7 +314,7 @@ sim::Task<> MasterKernel::psched(Mtb& mtb, int row, int base_warp, int count,
     }
     if (placed > 0) {
       warps_dispatched_ += placed;
-      co_await mtb.smm->execute(cfg_.dispatch_cycles_per_warp * placed);
+      co_await sched_charge(mtb, cfg_.dispatch_cycles_per_warp * placed);
       mtb.exec_cv.notify_all();
       continue;
     }
@@ -273,7 +335,7 @@ sim::Process MasterKernel::executor_warp(Mtb& mtb, int slot_index) {
     }
     TaskEntry& entry = gpu_table_.at(mtb.column, slot.entry_row);
     const TaskParams& p = entry.params;
-    touch_busy(+1);
+    touch_busy(mtb, +1);
 
     gpu::WarpCtx ctx;
     ctx.warp_in_task = slot.warp_id;
@@ -330,7 +392,7 @@ sim::Process MasterKernel::executor_warp(Mtb& mtb, int slot_index) {
                              dev_.sim().now());
       }
     }
-    touch_busy(-1);
+    touch_busy(mtb, -1);
     slot.exec = false;
     slot.entry_row = -1;
     slot.sm_index = -1;

@@ -125,6 +125,27 @@ class MasterKernel {
   std::int64_t warps_dispatched() const { return warps_dispatched_; }
   std::int64_t shmem_blocks_swept() const { return shmem_blocks_swept_; }
 
+  // --- observability ------------------------------------------------------
+  /// Executor warps currently running task work (all MTBs).
+  int busy_executor_warps() const { return busy_warps_; }
+  /// Free executor-warp slots across all MTBs.
+  int free_executor_slots() const;
+  /// Issue-pipeline time the scheduler warps have consumed, in seconds
+  /// (scans, release chains, leases, pSched dispatches). The busy fraction
+  /// is this / (elapsed * num_mtbs).
+  double scheduler_busy_seconds() const;
+  /// Executor-warp busy integral of one MTB (warp*seconds); utilization per
+  /// MTB is this / (elapsed * kExecutorWarps).
+  double executor_busy_warp_seconds(int mtb_index) const;
+
+  /// Buddy-arena pressure, aggregated over all MTBs' ShmemAllocators.
+  std::int64_t shmem_bytes_in_use() const;
+  /// Highest per-arena high-water mark (bytes) across MTBs.
+  std::int32_t shmem_peak_arena_bytes() const;
+  std::int64_t shmem_alloc_successes() const;
+  std::int64_t shmem_alloc_failures() const;
+  std::int64_t shmem_sweeps() const;
+
   /// Observer invoked (GPU-side, at the moment the last warp clears the
   /// ready field) for every completed task. Instrumentation only.
   using CompletionObserver = std::function<void(TaskId, sim::Time)>;
@@ -155,6 +176,12 @@ class MasterKernel {
     std::uint64_t sched_seq = 0;         // lost-wakeup guard
     sim::Condition exec_cv;              // executor warp wakeups
 
+    // Per-MTB executor busy integral (warp·seconds), for the observability
+    // layer's per-MTB utilization metric.
+    double busy_integral = 0.0;
+    int busy_warps = 0;
+    sim::Time busy_last_touch = 0;
+
     Mtb(sim::Simulation& sim, int rows, std::int32_t arena_bytes)
         : arena(static_cast<std::size_t>(arena_bytes)),
           shmem(arena_bytes),
@@ -170,6 +197,10 @@ class MasterKernel {
   }
   Mtb& mtb_of_column(int column) { return *mtbs_[static_cast<std::size_t>(column)]; }
   sim::Duration stall_to_time(double cycles) const;
+
+  /// Charges `cycles` to the MTB's SMM pipeline on the scheduler warp's
+  /// behalf, accumulating them for scheduler_busy_seconds().
+  sim::Task<> sched_charge(Mtb& mtb, double cycles);
 
   sim::Process scheduler_warp(Mtb& mtb);
   sim::Process executor_warp(Mtb& mtb, int slot_index);
@@ -204,10 +235,11 @@ class MasterKernel {
     if (trace_ != nullptr) trace_->record(dev_.sim().now(), kind, task, aux);
   }
 
-  void touch_busy(int delta);
-  mutable double busy_integral_ = 0.0;  // warp·seconds
+  void touch_busy(Mtb& mtb, int delta);
+  double busy_integral_ = 0.0;  // warp·seconds
   int busy_warps_ = 0;
-  mutable sim::Time busy_last_touch_ = 0;
+  sim::Time busy_last_touch_ = 0;
+  double sched_cycles_ = 0.0;  // pipeline cycles charged by scheduler warps
 };
 
 }  // namespace pagoda::runtime

@@ -107,6 +107,9 @@ class Runtime {
   gpu::Device& device() { return dev_; }
   const PagodaConfig& config() const { return cfg_; }
   const TaskTable& cpu_table() const { return cpu_table_; }
+  /// GPU-side mirror of the TaskTable (observability: per-state occupancy
+  /// and spawn-pipeline depth are read from here, never written).
+  const TaskTable& gpu_table() const { return gpu_table_; }
 
   /// Validation used by task_spawn; exposed for tests.
   static void validate(const TaskParams& p, const gpu::GpuSpec& spec);

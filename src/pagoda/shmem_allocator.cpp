@@ -1,5 +1,6 @@
 #include "pagoda/shmem_allocator.h"
 
+#include <algorithm>
 #include <bit>
 
 namespace pagoda::runtime {
@@ -52,7 +53,10 @@ void ShmemAllocator::mark_descendants(int node, bool mark) {
 }
 
 std::optional<std::int32_t> ShmemAllocator::allocate(std::int32_t bytes) {
-  if (bytes > arena_bytes_) return std::nullopt;
+  if (bytes > arena_bytes_) {
+    alloc_failures_ += 1;
+    return std::nullopt;
+  }
   const std::int32_t block = block_size_for(bytes);
   const int level = level_of_size(block);
   // Search the level for an unmarked node. (On the GPU the 32 threads of the
@@ -72,8 +76,11 @@ std::optional<std::int32_t> ShmemAllocator::allocate(std::int32_t bytes) {
     alloc_size_at_offset_[static_cast<std::size_t>(offset / granularity_)] =
         block;
     allocated_bytes_ += block;
+    peak_allocated_bytes_ = std::max(peak_allocated_bytes_, allocated_bytes_);
+    alloc_successes_ += 1;
     return offset;
   }
+  alloc_failures_ += 1;
   return std::nullopt;
 }
 
@@ -133,6 +140,8 @@ int ShmemAllocator::sweep_deferred() {
   const int freed = static_cast<int>(deferred_.size());
   for (const std::int32_t offset : deferred_) deallocate(offset);
   deferred_.clear();
+  sweeps_ += 1;
+  blocks_swept_ += freed;
   return freed;
 }
 

@@ -58,6 +58,18 @@ class ShmemAllocator {
   std::int32_t allocated_bytes() const { return allocated_bytes_; }
   int node_count() const { return static_cast<int>(marked_.size()); }
 
+  // --- observability counters (buddy-arena pressure) ----------------------
+  /// High-water mark of allocated_bytes() over the arena's lifetime.
+  std::int32_t peak_allocated_bytes() const { return peak_allocated_bytes_; }
+  /// allocate() calls that succeeded / returned nullopt (the scheduler warp
+  /// retries after a sweep or a deferred free — each retry counts again).
+  std::int64_t alloc_successes() const { return alloc_successes_; }
+  std::int64_t alloc_failures() const { return alloc_failures_; }
+  /// sweep_deferred() invocations and total blocks they freed.
+  std::int64_t sweeps() const { return sweeps_; }
+  std::int64_t blocks_swept() const { return blocks_swept_; }
+  int deferred_count() const { return static_cast<int>(deferred_.size()); }
+
   /// Smallest power-of-two block size >= bytes (>= granularity).
   std::int32_t block_size_for(std::int32_t bytes) const;
 
@@ -87,6 +99,11 @@ class ShmemAllocator {
   std::vector<std::int32_t> alloc_size_at_offset_;  // per-leaf-offset block size
   std::vector<std::int32_t> deferred_;              // offsets awaiting free
   std::int32_t allocated_bytes_ = 0;
+  std::int32_t peak_allocated_bytes_ = 0;
+  std::int64_t alloc_successes_ = 0;
+  std::int64_t alloc_failures_ = 0;
+  std::int64_t sweeps_ = 0;
+  std::int64_t blocks_swept_ = 0;
 };
 
 }  // namespace pagoda::runtime

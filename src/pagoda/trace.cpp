@@ -65,6 +65,9 @@ std::vector<TraceRecorder::TaskTimeline> TraceRecorder::timelines() const {
   std::vector<TaskTimeline> out;
   // Entry reuse: a new kSpawned on the same TaskId starts a new timeline.
   std::unordered_map<TaskId, std::size_t> open;
+  // Copy-backs land after completion closed the timeline; route them to the
+  // most recently completed instance of the id.
+  std::unordered_map<TaskId, std::size_t> last_completed;
   for (const TraceEvent& e : events_) {
     if (e.kind == TraceKind::kSpawned) {
       TaskTimeline t;
@@ -74,6 +77,14 @@ std::vector<TraceRecorder::TaskTimeline> TraceRecorder::timelines() const {
       out.push_back(t);
       continue;
     }
+    if (e.kind == TraceKind::kCopyBack) {
+      const auto done = last_completed.find(e.task);
+      if (done != last_completed.end()) {
+        TaskTimeline& t = out[done->second];
+        if (t.copy_back < 0) t.copy_back = e.time;
+      }
+      continue;
+    }
     const auto it = open.find(e.task);
     if (it == open.end()) continue;
     TaskTimeline& t = out[it->second];
@@ -81,15 +92,23 @@ std::vector<TraceRecorder::TaskTimeline> TraceRecorder::timelines() const {
       case TraceKind::kEntryCopied:
         if (t.entry_copied < 0) t.entry_copied = e.time;
         break;
-      case TraceKind::kReleased:
       case TraceKind::kFlushed:
+        if (t.flushed < 0) t.flushed = e.time;
+        [[fallthrough]];  // a flush IS the release of the last task
+      case TraceKind::kReleased:
         if (t.released < 0) t.released = e.time;
         break;
       case TraceKind::kScheduled:
         if (t.scheduled < 0) t.scheduled = e.time;
         break;
+      case TraceKind::kWarpDispatched:
+        if (t.first_warp_dispatch < 0) t.first_warp_dispatch = e.time;
+        t.last_warp_dispatch = e.time;
+        t.warps_dispatched += 1;
+        break;
       case TraceKind::kCompleted:
         t.completed = e.time;
+        last_completed[e.task] = it->second;
         open.erase(it);
         break;
       default:

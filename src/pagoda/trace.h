@@ -65,6 +65,8 @@ class TraceRecorder {
   void write_chrome_trace(std::ostream& os) const;
 
   /// Per-task lifecycle summary: spawn-to-completion and phase breakdown.
+  /// Optional phases (warp dispatch, flush, copy-back) are -1 when the
+  /// corresponding event was not recorded for this task instance.
   struct TaskTimeline {
     TaskId task = 0;
     sim::Time spawned = -1;
@@ -72,13 +74,35 @@ class TraceRecorder {
     sim::Time released = -1;
     sim::Time scheduled = -1;
     sim::Time completed = -1;
+    sim::Time first_warp_dispatch = -1;  // first pSched placement
+    sim::Time last_warp_dispatch = -1;   // last pSched placement
+    sim::Time flushed = -1;     // host flush released this task (not chain)
+    sim::Time copy_back = -1;   // host copy-back first observed entry free
+    int warps_dispatched = 0;   // pSched placements recorded for this task
     bool complete() const {
       return spawned >= 0 && entry_copied >= 0 && released >= 0 &&
              scheduled >= 0 && completed >= 0;
     }
+    bool was_flushed() const { return flushed >= 0; }
     bool ordered() const {
-      return spawned <= entry_copied && entry_copied <= released &&
-             released <= scheduled && scheduled <= completed;
+      if (!(spawned <= entry_copied && entry_copied <= released &&
+            released <= scheduled && scheduled <= completed)) {
+        return false;
+      }
+      // Warp dispatch happens while the entry is claimed by the scheduler.
+      if (first_warp_dispatch >= 0 &&
+          !(scheduled <= first_warp_dispatch &&
+            first_warp_dispatch <= last_warp_dispatch &&
+            last_warp_dispatch <= completed)) {
+        return false;
+      }
+      // A flush can only release an entry the GPU already holds.
+      if (flushed >= 0 && !(entry_copied <= flushed && flushed <= scheduled)) {
+        return false;
+      }
+      // The host can observe the entry free only after the GPU freed it.
+      if (copy_back >= 0 && !(completed <= copy_back)) return false;
+      return true;
     }
   };
 

@@ -32,6 +32,21 @@ class Link {
     PAGODA_CHECK(bandwidth_bytes_per_sec > 0.0);
   }
 
+  /// A completed transfer, as reported to the observer hook: wire slot
+  /// [wire_start, wire_end], bytes landed (and on_done fired) at `complete`.
+  struct TransferRecord {
+    std::int64_t bytes = 0;
+    Time wire_start = 0;
+    Time wire_end = 0;
+    Time complete = 0;
+  };
+
+  /// Observability hook: invoked at each transfer's completion time. Used by
+  /// obs::Collector to emit memcpy spans; nullptr (default) disables it.
+  void set_observer(std::function<void(const TransferRecord&)> obs) {
+    observer_ = std::move(obs);
+  }
+
   /// Starts a transfer of `bytes`; on_done fires when the last byte lands.
   /// Transfers on one link complete in issue order (FIFO engine).
   void transfer(std::int64_t bytes, std::function<void()> on_done) {
@@ -42,7 +57,17 @@ class Link {
                                     bandwidth_));
     next_free_ = start + wire;
     busy_integral_ += wire;
-    sim_->at(next_free_ + latency_, std::move(on_done));
+    transfers_started_ += 1;
+    bytes_transferred_ += bytes;
+    in_flight_ += 1;
+    const Time complete = next_free_ + latency_;
+    sim_->at(complete, [this, bytes, start, wire_end = next_free_, complete,
+                        fn = std::move(on_done)] {
+      in_flight_ -= 1;
+      transfers_completed_ += 1;
+      if (observer_) observer_(TransferRecord{bytes, start, wire_end, complete});
+      fn();
+    });
   }
 
   /// Awaitable form for processes.
@@ -68,6 +93,12 @@ class Link {
   /// When the engine can accept the next transfer.
   Time next_free_time() const { return next_free_; }
 
+  // --- observability counters ---------------------------------------------
+  std::int64_t transfers_started() const { return transfers_started_; }
+  std::int64_t transfers_completed() const { return transfers_completed_; }
+  std::int64_t bytes_transferred() const { return bytes_transferred_; }
+  int in_flight() const { return in_flight_; }
+
  private:
   Simulation* sim_;
   double bandwidth_;
@@ -75,6 +106,11 @@ class Link {
   Duration gap_;
   Time next_free_ = 0;
   Duration busy_integral_ = 0;
+  std::int64_t transfers_started_ = 0;
+  std::int64_t transfers_completed_ = 0;
+  std::int64_t bytes_transferred_ = 0;
+  int in_flight_ = 0;
+  std::function<void(const TransferRecord&)> observer_;
 };
 
 }  // namespace pagoda::sim

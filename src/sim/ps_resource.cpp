@@ -82,14 +82,21 @@ void PsResource::on_completion_event() {
   for (auto& fn : done) fn();
 }
 
+// The read-side accessors must NOT advance the internal accumulators:
+// re-anchoring virtual_time_ at an observation point changes the rounding of
+// subsequent incremental updates, so a run that is merely *observed* (e.g.
+// by the obs sampler) would diverge by picoseconds from an unobserved one.
+// Extrapolate the integral to `now` without mutating instead.
+
 double PsResource::busy_work_seconds() const {
-  const_cast<PsResource*>(this)->advance_virtual_time();
-  return busy_integral_;
+  const double dt = to_seconds(sim_->now() - last_update_);
+  const double n = static_cast<double>(heap_.size());
+  return busy_integral_ + std::min(capacity_, n * max_job_rate_) * dt;
 }
 
 double PsResource::job_seconds() const {
-  const_cast<PsResource*>(this)->advance_virtual_time();
-  return job_integral_;
+  const double dt = to_seconds(sim_->now() - last_update_);
+  return job_integral_ + static_cast<double>(heap_.size()) * dt;
 }
 
 }  // namespace pagoda::sim

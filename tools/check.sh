@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Full local verification: a Release build + test run, then an
+# address+undefined sanitizer build + test run. Mirrors what CI expects.
+#
+#   tools/check.sh            # both passes
+#   tools/check.sh --fast     # Release pass only
+#   PAGODA_SANITIZE="thread" tools/check.sh   # override the sanitizer list
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+SANITIZERS="${PAGODA_SANITIZE:-address;undefined}"
+
+run_pass() {
+  local dir="$1"
+  shift
+  echo "==> configure ${dir} ($*)"
+  cmake -B "${dir}" -S . "$@" >/dev/null
+  echo "==> build ${dir}"
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "==> test ${dir}"
+  (cd "${dir}" && ctest --output-on-failure -j "${JOBS}")
+}
+
+run_pass build-release -DCMAKE_BUILD_TYPE=Release -DPAGODA_WERROR=ON
+
+if [[ "${1:-}" != "--fast" ]]; then
+  run_pass build-asan \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    "-DPAGODA_SANITIZE=${SANITIZERS}"
+fi
+
+echo "==> all checks passed"

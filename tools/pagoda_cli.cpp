@@ -4,21 +4,29 @@
 //   pagoda_cli --workload=3DES --runtime=HyperQ --no-copies
 //   pagoda_cli --workload=MB --runtime=Pagoda --compute     # verify outputs
 //   pagoda_cli --workload=MM --runtime=Pagoda --trace=out.csv
+//   pagoda_cli --workload=MM --runtime=GeMTC --metrics
+//   pagoda_cli --workload=MM --runtime=Pagoda --metrics=metrics.json
+//   pagoda_cli --workload=MM --runtime=HyperQ --profile=profile.json
 //   pagoda_cli --list
 //
 // Prints end-to-end time, occupancy, wire utilization and per-task latency
-// percentiles; optionally dumps the Pagoda event trace as CSV.
+// percentiles. `--metrics` adds the full observability snapshot (text report
+// to stdout, or the stable JSON form when given a path); `--profile` writes
+// a Chrome/Perfetto trace-event file with task spans, PCIe transfers, kernel
+// grids and counter tracks; `--trace` dumps the raw event trace for ANY
+// runtime — the Pagoda protocol trace for Pagoda runtimes, the generic
+// timeline for the rest.
 #include <cstdio>
 #include <fstream>
+#include <iostream>
 #include <string>
 
 #include "baselines/factories.h"
 #include "common/stats.h"
-#include "gpu/device.h"
 #include "harness/calibration.h"
 #include "harness/experiment.h"
 #include "harness/flags.h"
-#include "pagoda/runtime.h"
+#include "obs/collector.h"
 #include "pagoda/trace.h"
 
 using namespace pagoda;
@@ -33,6 +41,13 @@ int list_options() {
   }
   std::printf("\nruntimes:  Sequential PThreads HyperQ GeMTC Fusion Pagoda "
               "PagodaBatching\n");
+  std::printf(
+      "flags:     --tasks=N --threads=N --blocks=N --seed=N --input=N\n"
+      "           --irregular --dynamic-threads --no-shmem --no-copies\n"
+      "           --compute --batch=N --rows=N --two-copy\n"
+      "           --metrics[=out.json] --metrics-period=US\n"
+      "           --profile[=out.json] --trace=out.csv "
+      "--trace-format=csv|chrome\n");
   return 0;
 }
 
@@ -40,10 +55,21 @@ int list_options() {
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
+  const std::string bad = flags.unknown(
+      {"list", "help", "workload", "runtime", "tasks", "threads", "seed",
+       "input", "blocks", "irregular", "dynamic-threads", "no-shmem",
+       "compute", "no-copies", "batch", "rows", "two-copy", "trace",
+       "trace-format", "metrics", "metrics-period", "profile"});
+  if (!bad.empty()) {
+    std::fprintf(stderr, "error: unknown argument '%s' (try --help)\n",
+                 bad.c_str());
+    return 1;
+  }
   if (flags.has("list") || flags.has("help")) return list_options();
 
   const std::string wl = flags.get("workload", "MM");
   const std::string rt = flags.get("runtime", "Pagoda");
+  const bool pagoda_rt = rt == "Pagoda" || rt == "PagodaBatching";
 
   workloads::WorkloadConfig wcfg;
   wcfg.num_tasks = static_cast<int>(flags.get_int("tasks", 4096));
@@ -71,14 +97,33 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // The harness path covers every runtime; the trace path (Pagoda only)
-  // needs direct access to the runtime object, so --trace uses a dedicated
-  // run through the same driver.
+  const bool want_metrics = flags.has("metrics");
+  const std::string metrics_path = flags.get("metrics");
+  const bool want_profile = flags.has("profile");
+  const std::string profile_path = flags.get("profile", "profile.json");
+  const bool want_trace = flags.has("trace");
   const std::string trace_path = flags.get("trace");
-  if (!trace_path.empty() && rt != "Pagoda") {
-    std::fprintf(stderr, "error: --trace requires --runtime=Pagoda\n");
+  if (want_trace && trace_path.empty()) {
+    std::fprintf(stderr, "error: --trace needs a path (--trace=out.csv)\n");
     return 1;
   }
+  const std::string trace_format = flags.get("trace-format", "csv");
+  if (trace_format != "csv" && trace_format != "chrome") {
+    std::fprintf(stderr, "error: --trace-format must be csv or chrome\n");
+    return 1;
+  }
+  const std::int64_t period_us = flags.get_int("metrics-period", 20);
+  if (period_us <= 0) {
+    std::fprintf(stderr, "error: --metrics-period must be positive\n");
+    return 1;
+  }
+
+  obs::CollectorConfig ccfg;
+  ccfg.sample_period = sim::microseconds(static_cast<double>(period_us));
+  ccfg.timeline = want_profile || (want_trace && !pagoda_rt);
+  ccfg.trace = want_trace && pagoda_rt;
+  obs::Collector collector(ccfg);
+  if (want_metrics || want_profile || want_trace) rcfg.collector = &collector;
 
   const harness::Measurement m = harness::run_experiment(wl, rt, wcfg, rcfg);
 
@@ -102,41 +147,43 @@ int main(int argc, char** argv) {
                 percentile(m.result.task_latency_us, 99));
   }
 
-  if (!trace_path.empty()) {
-    // Re-run with tracing enabled through a bare Pagoda runtime.
-    sim::Simulation sim;
-    gpu::Device dev(sim, rcfg.spec, rcfg.pcie);
-    runtime::PagodaConfig pcfg = rcfg.pagoda;
-    pcfg.mode = rcfg.mode;
-    runtime::Runtime prt(dev, rcfg.host, pcfg);
-    runtime::TraceRecorder trace;
-    prt.set_trace_recorder(&trace);
-    prt.start();
-    auto workload = workloads::make_workload(wl);
-    workload->generate(wcfg);
-    struct Spawner {
-      static sim::Process run(runtime::Runtime& prt,
-                              std::span<const workloads::TaskSpec> tasks,
-                              bool& done) {
-        for (const workloads::TaskSpec& t : tasks) {
-          co_await prt.task_spawn(t.params);
-        }
-        co_await prt.wait_all();
-        done = true;
-      }
-    };
-    bool done = false;
-    sim.spawn(Spawner::run(prt, workload->tasks(), done));
-    sim.run_until(rcfg.time_cap);
-    prt.shutdown();
-    std::ofstream out(trace_path);
-    if (flags.get("trace-format", "csv") == "chrome") {
-      trace.write_chrome_trace(out);  // open in chrome://tracing / Perfetto
+  if (want_metrics) {
+    if (metrics_path.empty()) {
+      std::printf("\n");
+      m.metrics.write_text(std::cout);
     } else {
-      trace.write_csv(out);
+      std::ofstream out(metrics_path);
+      m.metrics.write_json(out);
+      std::printf("metrics    -> %s\n", metrics_path.c_str());
     }
-    std::printf("trace      %zu events -> %s%s\n", trace.events().size(),
-                trace_path.c_str(), done ? "" : " (INCOMPLETE RUN)");
+  }
+  if (want_profile) {
+    std::ofstream out(profile_path);
+    collector.timeline().write_chrome_trace(out);
+    std::printf("profile    %zu spans, %zu counter samples -> %s\n",
+                collector.timeline().num_spans(),
+                collector.timeline().num_counter_samples(),
+                profile_path.c_str());
+  }
+  if (want_trace) {
+    std::ofstream out(trace_path);
+    if (pagoda_rt) {
+      if (trace_format == "chrome") {
+        collector.trace().write_chrome_trace(out);
+      } else {
+        collector.trace().write_csv(out);
+      }
+      std::printf("trace      %zu events -> %s\n",
+                  collector.trace().events().size(), trace_path.c_str());
+    } else {
+      if (trace_format == "chrome") {
+        collector.timeline().write_chrome_trace(out);
+      } else {
+        collector.timeline().write_csv(out);
+      }
+      std::printf("trace      %zu spans -> %s\n",
+                  collector.timeline().num_spans(), trace_path.c_str());
+    }
   }
   return 0;
 }
