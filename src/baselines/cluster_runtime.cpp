@@ -1,0 +1,170 @@
+// Driver for the multi-GPU serving layer (src/cluster/): turns a workload's
+// task list into an open-loop request stream over a Dispatcher fronting N
+// Pagoda runtimes. This is the scale-out counterpart of pagoda_driver.cpp —
+// instead of two spawner threads feeding one device, an arrival process
+// offers requests and a placement policy spreads them over the fleet.
+//
+// The "Cluster" runtime only handles wave-free workloads: a serving cluster
+// has no global barrier to express SLUD's dependency waves.
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "baselines/factories.h"
+#include "cluster/cluster.h"
+#include "cluster/dispatcher.h"
+#include "cluster/placement.h"
+#include "cluster/traffic.h"
+#include "common/check.h"
+#include "obs/collector.h"
+#include "sim/process.h"
+
+namespace pagoda::baselines {
+namespace {
+
+using workloads::TaskSpec;
+
+std::string node_prefix(int index) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "dev%02d.", index);
+  return buf;
+}
+
+struct ClusterRunState {
+  sim::Simulation sim;
+  cluster::Cluster fleet;
+  cluster::Dispatcher dispatcher;
+  bool done = false;
+  sim::Time end_time = 0;
+
+  ClusterRunState(const RunConfig& cfg,
+                  std::unique_ptr<cluster::PlacementPolicy> policy)
+      : fleet(sim, node_configs(cfg)),
+        dispatcher(fleet, std::move(policy), dispatcher_config(cfg)) {}
+
+  static std::vector<cluster::NodeConfig> node_configs(const RunConfig& cfg) {
+    std::vector<gpu::GpuSpec> specs = cfg.cluster.specs;
+    if (specs.empty()) specs.push_back(cfg.spec);
+    std::vector<cluster::NodeConfig> nodes;
+    nodes.reserve(specs.size());
+    for (const gpu::GpuSpec& spec : specs) {
+      cluster::NodeConfig nc;
+      nc.spec = spec;
+      nc.pcie = cfg.pcie;
+      nc.host = cfg.host;
+      nc.pagoda = cfg.pagoda;
+      nc.pagoda.mode = cfg.mode;
+      nodes.push_back(nc);
+    }
+    return nodes;
+  }
+
+  static cluster::DispatcherConfig dispatcher_config(const RunConfig& cfg) {
+    cluster::DispatcherConfig dc;
+    dc.queue_limit = cfg.cluster.queue_limit;
+    dc.default_slo = cfg.cluster.slo;
+    dc.host = cfg.host;
+    return dc;
+  }
+};
+
+/// The open-loop source: offers one request per workload task, paced by the
+/// arrival process. Requests inherit the task's kernel and copy volumes.
+sim::Process source(ClusterRunState& st, const RunConfig& cfg,
+                    std::span<const TaskSpec> tasks,
+                    cluster::ArrivalConfig acfg) {
+  cluster::ArrivalSequence seq(acfg, cfg.cluster.seed);
+  for (int i = 0; i < static_cast<int>(tasks.size()); ++i) {
+    const sim::Duration gap = seq.next_gap();
+    if (gap > 0) co_await st.sim.delay(gap);
+    const TaskSpec& t = tasks[static_cast<std::size_t>(i)];
+    cluster::Request r;
+    r.params = t.params;
+    if (cfg.include_data_copies) {
+      r.h2d_bytes = t.h2d_bytes;
+      r.d2h_bytes = t.d2h_bytes;
+    }
+    r.index = i;
+    st.dispatcher.offer(std::move(r));
+  }
+  st.dispatcher.close();
+}
+
+sim::Process drainer(ClusterRunState& st) {
+  co_await st.dispatcher.drain();
+  st.end_time = st.sim.now();
+  st.done = true;
+}
+
+class ClusterDriver final : public TaskRuntime {
+ public:
+  std::string_view name() const override { return "Cluster"; }
+
+  bool supports(const workloads::Workload& w) const override {
+    return max_wave(w) == 0;  // no global barrier in a serving cluster
+  }
+
+  RunResult run(workloads::Workload& w, const RunConfig& cfg) override {
+    std::unique_ptr<cluster::PlacementPolicy> policy =
+        cluster::make_policy(cfg.cluster.policy);
+    PAGODA_CHECK_MSG(policy != nullptr, "unknown placement policy");
+    const std::optional<cluster::ArrivalConfig> acfg =
+        cluster::ArrivalConfig::parse(cfg.cluster.arrival);
+    PAGODA_CHECK_MSG(acfg.has_value(), "bad arrival spec");
+
+    ClusterRunState st(cfg, std::move(policy));
+    if (cfg.collector != nullptr) {
+      for (int i = 0; i < st.fleet.size(); ++i) {
+        cluster::GpuNode& node = st.fleet.node(i);
+        cfg.collector->attach_device(node.device(), node_prefix(i));
+        cfg.collector->attach_pagoda(node.rt(), node_prefix(i));
+      }
+      st.dispatcher.install_sampler(*cfg.collector);
+    }
+    st.fleet.start();
+    st.sim.spawn(source(st, cfg, w.tasks(), *acfg));
+    st.sim.spawn(drainer(st));
+    st.sim.run_until(cfg.time_cap);
+
+    RunResult res;
+    res.completed = st.done;
+    res.elapsed = st.end_time;
+    res.tasks = st.dispatcher.stats().completed;
+    double warp_capacity = 0.0;
+    for (int i = 0; i < st.fleet.size(); ++i) {
+      gpu::Device& dev = st.fleet.node(i).device();
+      res.h2d_wire_busy +=
+          dev.pcie().link(pcie::Direction::HostToDevice).busy_time();
+      res.d2h_wire_busy +=
+          dev.pcie().link(pcie::Direction::DeviceToHost).busy_time();
+      warp_capacity += static_cast<double>(dev.spec().max_resident_warps());
+    }
+    const double elapsed_s = sim::to_seconds(st.end_time);
+    if (elapsed_s > 0.0) {
+      res.occupancy = st.fleet.executor_busy_warp_seconds() /
+                      (elapsed_s * warp_capacity);
+    }
+    if (cfg.collect_latencies) {
+      res.task_latency_us.assign(st.dispatcher.latencies_us().begin(),
+                                 st.dispatcher.latencies_us().end());
+    }
+    if (cfg.collector != nullptr) {
+      for (const cluster::Dispatcher::Span& s : st.dispatcher.spans()) {
+        cfg.collector->task_span(s.arrival, s.done);
+      }
+      st.dispatcher.export_metrics(cfg.collector->metrics());
+      cfg.collector->finish(st.end_time, res.tasks);
+    }
+    st.fleet.shutdown();
+    return res;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<TaskRuntime> make_cluster_runtime() {
+  return std::make_unique<ClusterDriver>();
+}
+
+}  // namespace pagoda::baselines

@@ -12,6 +12,7 @@ std::unique_ptr<TaskRuntime> make_hyperq_runtime();
 std::unique_ptr<TaskRuntime> make_gemtc_runtime();
 std::unique_ptr<TaskRuntime> make_fusion_runtime();
 std::unique_ptr<TaskRuntime> make_cpu_runtime(int cores);
+std::unique_ptr<TaskRuntime> make_cluster_runtime();
 
 /// GeMTC's SuperKernel worker count for this workload's threadblock size:
 /// the number of resident worker threadblocks at maximum occupancy. Also

@@ -21,6 +21,7 @@ std::unique_ptr<TaskRuntime> make_runtime(std::string_view name) {
   if (name == "Fusion") return make_fusion_runtime();
   if (name == "PThreads") return make_cpu_runtime(/*cores=*/20);
   if (name == "Sequential") return make_cpu_runtime(/*cores=*/1);
+  if (name == "Cluster") return make_cluster_runtime();
   PAGODA_CHECK_MSG(false, "unknown runtime name");
 }
 

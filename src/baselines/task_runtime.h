@@ -15,6 +15,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -29,6 +30,23 @@ class Collector;
 }
 
 namespace pagoda::baselines {
+
+/// Options for the "Cluster" runtime (src/cluster/): a fleet of simulated
+/// GPUs behind one dispatcher. Ignored by every single-device scheme.
+struct ClusterOptions {
+  /// One spec per GPU; empty means one device of RunConfig::spec.
+  std::vector<gpu::GpuSpec> specs;
+  /// Placement policy name (see cluster::all_policy_names()).
+  std::string policy = "round-robin";
+  /// Arrival process spec (see cluster::ArrivalConfig::parse()).
+  std::string arrival = "closed";
+  /// Per-request deadline for SLO accounting; 0 disables it.
+  sim::Duration slo = 0;
+  /// Admission bound on the dispatcher backlog; 0 = unbounded.
+  int queue_limit = 0;
+  /// Seed for the arrival process.
+  std::uint64_t seed = 1;
+};
 
 struct RunConfig {
   gpu::ExecMode mode = gpu::ExecMode::Model;
@@ -52,6 +70,8 @@ struct RunConfig {
   /// before tearing the run down. nullptr disables collection entirely; a
   /// Collector serves exactly one run() call.
   obs::Collector* collector = nullptr;
+  /// Multi-GPU serving options (the "Cluster" runtime only).
+  ClusterOptions cluster{};
 };
 
 struct RunResult {
@@ -86,7 +106,7 @@ class TaskRuntime {
 };
 
 /// Factory: "Pagoda", "PagodaBatching", "HyperQ", "GeMTC", "Fusion",
-/// "PThreads", "Sequential".
+/// "PThreads", "Sequential", "Cluster".
 std::unique_ptr<TaskRuntime> make_runtime(std::string_view name);
 
 /// Highest dependency wave in the workload (0 = all independent).

@@ -1,0 +1,63 @@
+#include "cluster/cluster.h"
+
+#include "common/check.h"
+
+namespace pagoda::cluster {
+
+GpuNode::GpuNode(sim::Simulation& sim, const NodeConfig& cfg, int index)
+    : index_(index),
+      cfg_(cfg),
+      dev_(sim, cfg.spec, cfg.pcie),
+      rt_(dev_, cfg.host, cfg.pagoda),
+      h2d_stream_(dev_),
+      d2h_stream_(dev_) {}
+
+void GpuNode::cache_insert(std::uint64_t key) {
+  if (cfg_.cache_keys <= 0) return;
+  if (resident_.count(key) > 0) return;
+  if (static_cast<int>(resident_fifo_.size()) >= cfg_.cache_keys) {
+    resident_.erase(resident_fifo_.front());
+    resident_fifo_.pop_front();
+  }
+  resident_.insert(key);
+  resident_fifo_.push_back(key);
+}
+
+Cluster::Cluster(sim::Simulation& sim, const std::vector<NodeConfig>& nodes)
+    : sim_(&sim) {
+  PAGODA_CHECK_MSG(!nodes.empty(), "a cluster needs at least one GPU");
+  nodes_.reserve(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    nodes_.push_back(
+        std::make_unique<GpuNode>(sim, nodes[i], static_cast<int>(i)));
+  }
+}
+
+void Cluster::start() {
+  for (auto& n : nodes_) n->rt().start();
+}
+
+void Cluster::shutdown() {
+  for (auto& n : nodes_) n->rt().shutdown();
+}
+
+double Cluster::executor_busy_warp_seconds() const {
+  double total = 0.0;
+  for (const auto& n : nodes_) {
+    total += n->rt().master_kernel().executor_busy_warp_seconds();
+  }
+  return total;
+}
+
+int Cluster::total_executor_warps() const {
+  int total = 0;
+  for (const auto& n : nodes_) total += n->executor_warp_capacity();
+  return total;
+}
+
+std::vector<NodeConfig> Cluster::homogeneous(int n, NodeConfig proto) {
+  PAGODA_CHECK(n >= 1);
+  return std::vector<NodeConfig>(static_cast<std::size_t>(n), proto);
+}
+
+}  // namespace pagoda::cluster

@@ -1,0 +1,145 @@
+// Multi-GPU cluster: N simulated devices — possibly heterogeneous — each
+// with its own PCIe link, MasterKernel and Pagoda runtime, all driven by ONE
+// Simulation so cross-device timing stays globally ordered and deterministic.
+//
+// A GpuNode is the dispatcher's unit of placement. Besides the device and
+// runtime it carries:
+//  * dedicated H2D/D2H data streams (task inputs/outputs never contend with
+//    the runtime's TaskTable stream for issue order, only for wire time);
+//  * load counters the placement policies read (outstanding request count,
+//    outstanding service demand, executor-warp busy fraction — the same
+//    passive signals the obs::Collector samplers record);
+//  * a bounded FIFO cache of resident data keys, the substrate for the
+//    data-affinity policy (a hit skips the request's H2D input copy).
+//
+// The Cluster owns the nodes and nothing else: arrival processes, placement
+// and SLO accounting live in dispatcher.h / traffic.h / placement.h.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "gpu/device.h"
+#include "gpu/stream.h"
+#include "host/host_api.h"
+#include "pagoda/master_kernel.h"
+#include "pagoda/runtime.h"
+#include "pcie/pcie_bus.h"
+#include "sim/simulation.h"
+
+namespace pagoda::cluster {
+
+/// Per-device configuration. Each node gets its own PCIe link (its own
+/// slot), so a copy bound on one device never steals wire time from another.
+struct NodeConfig {
+  gpu::GpuSpec spec = gpu::GpuSpec::titan_x();
+  pcie::PcieConfig pcie{};
+  host::HostCosts host{};
+  runtime::PagodaConfig pagoda{};
+  /// Data keys the node can hold resident (FIFO eviction); 0 disables the
+  /// affinity cache entirely.
+  int cache_keys = 64;
+};
+
+class GpuNode {
+ public:
+  GpuNode(sim::Simulation& sim, const NodeConfig& cfg, int index);
+  GpuNode(const GpuNode&) = delete;
+  GpuNode& operator=(const GpuNode&) = delete;
+
+  int index() const { return index_; }
+  gpu::Device& device() { return dev_; }
+  runtime::Runtime& rt() { return rt_; }
+  const NodeConfig& config() const { return cfg_; }
+  gpu::Stream& h2d_stream() { return h2d_stream_; }
+  gpu::Stream& d2h_stream() { return d2h_stream_; }
+
+  // --- load signals for placement policies ------------------------------
+  /// Requests placed on this node and not yet finalized (queued for a
+  /// TaskTable slot, copying, executing, or draining their output copy).
+  int outstanding() const { return outstanding_; }
+  /// TaskTable entries on this device — the node's admission capacity.
+  int capacity() const { return rt_.cpu_table().size(); }
+  /// Executor warps across all MTBs (relative device muscle; a Tesla K40
+  /// node has fewer than a Titan X node).
+  int executor_warp_capacity() const {
+    return rt_.master_kernel().num_mtbs() *
+           runtime::MasterKernel::kExecutorWarps;
+  }
+  /// Fraction of executor warps currently running task work — the same
+  /// passive read the obs sampler records as `pagoda.executors.busy`.
+  double busy_executor_fraction() const {
+    return static_cast<double>(rt_.master_kernel().busy_executor_warps()) /
+           static_cast<double>(executor_warp_capacity());
+  }
+
+  /// Sum of the service-demand estimates (Request::cost) of outstanding
+  /// requests — the work-aware companion to outstanding().
+  double outstanding_work() const { return outstanding_work_; }
+
+  // --- dispatcher bookkeeping -------------------------------------------
+  void add_outstanding(double cost) {
+    outstanding_ += 1;
+    outstanding_work_ += cost;
+  }
+  void remove_outstanding(double cost) {
+    outstanding_ -= 1;
+    outstanding_work_ -= cost;
+    completed_ += 1;
+  }
+  std::int64_t completed() const { return completed_; }
+
+  // --- data-affinity cache ----------------------------------------------
+  /// Whether `key` is resident (no cache mutation).
+  bool cache_contains(std::uint64_t key) const {
+    return resident_.count(key) > 0;
+  }
+  /// Marks `key` resident, evicting FIFO when full. No-op when disabled.
+  void cache_insert(std::uint64_t key);
+
+ private:
+  int index_;
+  NodeConfig cfg_;
+  gpu::Device dev_;
+  runtime::Runtime rt_;
+  gpu::Stream h2d_stream_;
+  gpu::Stream d2h_stream_;
+  int outstanding_ = 0;
+  double outstanding_work_ = 0.0;
+  std::int64_t completed_ = 0;
+  std::unordered_set<std::uint64_t> resident_;
+  std::deque<std::uint64_t> resident_fifo_;
+};
+
+class Cluster {
+ public:
+  Cluster(sim::Simulation& sim, const std::vector<NodeConfig>& nodes);
+
+  /// Launches every node's MasterKernel / terminates them all.
+  void start();
+  void shutdown();
+
+  sim::Simulation& sim() { return *sim_; }
+  int size() const { return static_cast<int>(nodes_.size()); }
+  GpuNode& node(int i) { return *nodes_[static_cast<std::size_t>(i)]; }
+  const GpuNode& node(int i) const {
+    return *nodes_[static_cast<std::size_t>(i)];
+  }
+
+  /// Sum of per-node executor-warp busy integrals (warp·seconds); cluster
+  /// occupancy is this / (elapsed · Σ executor capacity).
+  double executor_busy_warp_seconds() const;
+  int total_executor_warps() const;
+
+  /// n identical nodes (the homogeneous scaling-sweep configuration).
+  static std::vector<NodeConfig> homogeneous(int n, NodeConfig proto = {});
+
+ private:
+  sim::Simulation* sim_;
+  std::vector<std::unique_ptr<GpuNode>> nodes_;
+};
+
+}  // namespace pagoda::cluster

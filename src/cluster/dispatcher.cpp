@@ -1,0 +1,235 @@
+#include "cluster/dispatcher.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "common/check.h"
+#include "common/stats.h"
+#include "obs/collector.h"
+#include "obs/metrics.h"
+#include "sim/process.h"
+
+namespace pagoda::cluster {
+
+namespace {
+
+std::string dev_key(int index, const char* suffix) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "cluster.dev%02d.%s", index, suffix);
+  return buf;
+}
+
+}  // namespace
+
+Dispatcher::Dispatcher(Cluster& cluster,
+                       std::unique_ptr<PlacementPolicy> policy,
+                       DispatcherConfig cfg)
+    : cluster_(&cluster),
+      policy_(std::move(policy)),
+      cfg_(cfg),
+      drained_(cluster.sim()) {
+  PAGODA_CHECK_MSG(policy_ != nullptr, "Dispatcher needs a placement policy");
+  node_state_.resize(static_cast<std::size_t>(cluster.size()));
+  for (int i = 0; i < cluster.size(); ++i) {
+    GpuNode& node = cluster.node(i);
+    NodeState& ns = node_state_[static_cast<std::size_t>(i)];
+    ns.slots =
+        std::make_unique<sim::Semaphore>(cluster.sim(), node.capacity());
+    ns.records.resize(static_cast<std::size_t>(node.capacity()));
+    ns.activity = std::make_unique<sim::Condition>(cluster.sim());
+    node.rt().set_completion_observer(
+        [this, i](runtime::TaskId id, sim::Time) { on_task_complete(i, id); });
+    cluster.sim().spawn(flush_timer(i));
+  }
+}
+
+sim::Process Dispatcher::flush_timer(int node_index) {
+  GpuNode& node = cluster_->node(node_index);
+  NodeState& ns = node_state_[static_cast<std::size_t>(node_index)];
+  const sim::Duration quiet = node.rt().config().wait_poll;
+  while (true) {
+    while (ns.spawn_epoch == 0) co_await ns.activity->wait();
+    while (node.outstanding() > 0) {
+      const std::uint64_t seen = ns.spawn_epoch;
+      co_await sim().delay(quiet);
+      if (ns.spawn_epoch == seen && node.outstanding() > 0) {
+        // No spawn for a whole quiet period: the release chain has stalled.
+        // wait_all flushes the stranded task and keeps playing lazy
+        // aggregate copy-backs until this node's table drains.
+        co_await node.rt().wait_all();
+      }
+    }
+    if (closed_ && in_flight_ == 0) co_return;
+    ns.spawn_epoch = 0;  // re-arm: sleep until the next spawn
+  }
+}
+
+void Dispatcher::offer(Request r) {
+  PAGODA_CHECK_MSG(!closed_, "offer() after close()");
+  stats_.offered += 1;
+  if (r.slo == 0) r.slo = cfg_.default_slo;
+  if (cfg_.queue_limit > 0 && backlog_ >= cfg_.queue_limit) {
+    // Admission control: a bounded backlog turns overload into determinate
+    // drops. A dropped request never attains its deadline.
+    stats_.dropped += 1;
+    if (r.slo > 0) stats_.slo_violations += 1;
+    return;
+  }
+  const int node_index = policy_->pick(*cluster_, r);
+  PAGODA_CHECK_MSG(node_index >= 0 && node_index < cluster_->size(),
+                   "placement policy returned a bad node index");
+  stats_.admitted += 1;
+  placements_.push_back(node_index);
+  cluster_->node(node_index).add_outstanding(r.cost);
+  in_flight_ += 1;
+  backlog_ += 1;
+  sim().spawn(serve(std::move(r), node_index));
+}
+
+sim::Process Dispatcher::serve(Request r, int node_index) {
+  const sim::Time arrival = sim().now();
+  GpuNode& node = cluster_->node(node_index);
+  NodeState& ns = node_state_[static_cast<std::size_t>(node_index)];
+
+  // Backpressure: at most `capacity` requests per device own a TaskTable
+  // entry or an input copy at once; the rest queue here, in FIFO order.
+  co_await ns.slots->acquire();
+  backlog_ -= 1;
+
+  if (r.h2d_bytes > 0) {
+    const bool hit = r.data_key != 0 && node.cache_contains(r.data_key);
+    if (hit) {
+      stats_.affinity_hits += 1;
+    } else {
+      co_await sim().delay(cfg_.host.memcpy_setup);
+      auto trig = std::make_shared<sim::Trigger>(sim());
+      node.h2d_stream().memcpy_async(
+          pcie::Direction::HostToDevice, nullptr, nullptr,
+          static_cast<std::size_t>(r.h2d_bytes), [trig] { trig->fire(); });
+      co_await trig->wait();
+      stats_.h2d_bytes_copied += r.h2d_bytes;
+      if (r.data_key != 0) node.cache_insert(r.data_key);
+    }
+  }
+
+  const runtime::TaskHandle h = co_await node.rt().task_spawn(r.params);
+  ns.spawn_epoch += 1;
+  ns.activity->notify_all();
+  NodeState::Record& rec =
+      ns.records[static_cast<std::size_t>(h.id - runtime::kFirstTaskId)];
+  PAGODA_CHECK_MSG(!rec.active, "TaskTable entry reused while tracked");
+  rec.active = true;
+  rec.arrival = arrival;
+  rec.slo = r.slo;
+  rec.d2h_bytes = r.d2h_bytes;
+  rec.cost = r.cost;
+}
+
+void Dispatcher::on_task_complete(int node_index, runtime::TaskId id) {
+  NodeState& ns = node_state_[static_cast<std::size_t>(node_index)];
+  const std::size_t idx = static_cast<std::size_t>(id - runtime::kFirstTaskId);
+  PAGODA_CHECK(idx < ns.records.size());
+  NodeState::Record rec = ns.records[idx];
+  if (!rec.active) return;  // not a dispatcher task (foreign spawner)
+  // Erase NOW: the GPU just freed the entry, so a successor may spawn into
+  // it before this request's output copy drains.
+  ns.records[idx] = NodeState::Record{};
+
+  if (rec.d2h_bytes > 0) {
+    cluster_->node(node_index).d2h_stream().memcpy_async(
+        pcie::Direction::DeviceToHost, nullptr, nullptr,
+        static_cast<std::size_t>(rec.d2h_bytes),
+        [this, node_index, rec] { finalize(node_index, rec); });
+  } else {
+    finalize(node_index, rec);
+  }
+}
+
+void Dispatcher::finalize(int node_index, NodeState::Record rec) {
+  const sim::Time now = sim().now();
+  GpuNode& node = cluster_->node(node_index);
+  node.remove_outstanding(rec.cost);
+  NodeState& ns = node_state_[static_cast<std::size_t>(node_index)];
+  ns.slots->release();
+  stats_.slot_releases += 1;
+  stats_.completed += 1;
+  in_flight_ -= 1;
+
+  const sim::Duration latency = now - rec.arrival;
+  latencies_us_.push_back(sim::to_microseconds(latency));
+  spans_.push_back(Span{rec.arrival, now});
+  if (rec.slo > 0 && latency > rec.slo) stats_.slo_violations += 1;
+
+  if (closed_ && in_flight_ == 0) drained_.notify_all();
+}
+
+void Dispatcher::close() { closed_ = true; }
+
+sim::Task<> Dispatcher::drain() {
+  while (!(closed_ && in_flight_ == 0)) co_await drained_.wait();
+}
+
+double Dispatcher::load_imbalance() const {
+  std::int64_t lo = cluster_->node(0).completed();
+  std::int64_t hi = lo;
+  std::int64_t sum = 0;
+  for (int i = 0; i < cluster_->size(); ++i) {
+    const std::int64_t c = cluster_->node(i).completed();
+    lo = std::min(lo, c);
+    hi = std::max(hi, c);
+    sum += c;
+  }
+  if (sum == 0) return 0.0;
+  const double mean =
+      static_cast<double>(sum) / static_cast<double>(cluster_->size());
+  return static_cast<double>(hi - lo) / mean;
+}
+
+void Dispatcher::export_metrics(obs::MetricsRegistry& m) const {
+  m.counter("cluster.requests.offered").set(stats_.offered);
+  m.counter("cluster.requests.admitted").set(stats_.admitted);
+  m.counter("cluster.requests.dropped").set(stats_.dropped);
+  m.counter("cluster.requests.completed").set(stats_.completed);
+  m.counter("cluster.slo.violations").set(stats_.slo_violations);
+  m.counter("cluster.affinity.hits").set(stats_.affinity_hits);
+  m.counter("cluster.h2d.bytes_copied").set(stats_.h2d_bytes_copied);
+  if (stats_.offered > 0) {
+    m.gauge("cluster.slo.violation_rate")
+        .set(static_cast<double>(stats_.slo_violations) /
+             static_cast<double>(stats_.offered));
+  }
+  m.gauge("cluster.load_imbalance").set(load_imbalance());
+  m.counter("cluster.gpus").set(cluster_->size());
+  for (int i = 0; i < cluster_->size(); ++i) {
+    m.counter(dev_key(i, "completed")).set(cluster_->node(i).completed());
+  }
+  if (!latencies_us_.empty()) {
+    m.gauge("cluster.latency.mean_us").set(arithmetic_mean(latencies_us_));
+    m.gauge("cluster.latency.p50_us").set(percentile(latencies_us_, 50));
+    m.gauge("cluster.latency.p99_us").set(percentile(latencies_us_, 99));
+    m.gauge("cluster.latency.p999_us").set(percentile(latencies_us_, 99.9));
+    obs::Histogram& h = m.histogram("cluster.latency_us");
+    for (const double v : latencies_us_) h.add(v);
+  }
+}
+
+void Dispatcher::install_sampler(obs::Collector& collector) {
+  collector.add_sampler(sim(), [this, &collector](sim::Time now) {
+    obs::MetricsRegistry& m = collector.metrics();
+    m.stat("cluster.in_flight").add(static_cast<double>(in_flight_));
+    m.stat("cluster.backlog").add(static_cast<double>(backlog_));
+    for (int i = 0; i < cluster_->size(); ++i) {
+      m.stat(dev_key(i, "outstanding"))
+          .add(static_cast<double>(cluster_->node(i).outstanding()));
+    }
+    if (collector.timeline_enabled()) {
+      collector.timeline().counter("cluster.in_flight", now,
+                                   static_cast<double>(in_flight_));
+      collector.timeline().counter("cluster.backlog", now,
+                                   static_cast<double>(backlog_));
+    }
+  });
+}
+
+}  // namespace pagoda::cluster

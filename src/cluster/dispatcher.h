@@ -1,0 +1,168 @@
+// The cluster dispatcher: one spawn-API front door over N per-device Pagoda
+// runtimes.
+//
+// Request lifecycle (state machine; every admitted request walks it exactly
+// once):
+//
+//   offer() ── queue bound exceeded ──> DROPPED  (counted as an SLO miss)
+//      │
+//      ▼ placement policy picks a node (at arrival, so load-aware policies
+//      │ see queued work), node.outstanding++
+//   QUEUED ── co_await node slot (backpressure: at most `capacity` requests
+//      │      own TaskTable entries or copies per device)
+//      ▼
+//   COPYING ── H2D input copy on the node's data stream, skipped on a
+//      │       data-affinity cache hit
+//      ▼
+//   EXECUTING ── runtime::task_spawn + GPU-side completion
+//      ▼
+//   DRAINING ── D2H output copy (if any)
+//      ▼
+//   DONE ── latency = now - arrival; SLO check; slot released exactly once;
+//           node.outstanding--
+//
+// Admission control is two-layered: the per-node slot semaphore bounds
+// in-flight work per device at its TaskTable size (backpressure), and the
+// optional global queue bound converts overload into deterministic drops
+// instead of an unbounded backlog — the open-loop analogue of a full accept
+// queue.
+//
+// All accounting (latency percentiles, violation rate, per-device load
+// imbalance) is virtual-time derived and exported into an
+// obs::MetricsRegistry, so `--metrics` / `--profile` work unchanged.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/placement.h"
+#include "cluster/request.h"
+#include "sim/sync.h"
+
+namespace pagoda::obs {
+class Collector;
+class MetricsRegistry;
+}  // namespace pagoda::obs
+
+namespace pagoda::cluster {
+
+struct DispatcherConfig {
+  /// Admitted-but-unslotted requests allowed across the cluster before
+  /// offers are dropped; 0 = unbounded (pure backpressure, no drops).
+  int queue_limit = 0;
+  /// Deadline applied to requests that don't carry their own; 0 = none.
+  sim::Duration default_slo = 0;
+  /// Host cost charged per input/output copy setup.
+  host::HostCosts host{};
+};
+
+class Dispatcher {
+ public:
+  struct Stats {
+    std::int64_t offered = 0;
+    std::int64_t admitted = 0;
+    std::int64_t dropped = 0;
+    std::int64_t completed = 0;
+    std::int64_t slo_violations = 0;  // late completions + drops
+    std::int64_t affinity_hits = 0;   // H2D copies skipped
+    std::int64_t h2d_bytes_copied = 0;
+    std::int64_t slot_releases = 0;   // must equal admitted after drain()
+  };
+
+  Dispatcher(Cluster& cluster, std::unique_ptr<PlacementPolicy> policy,
+             DispatcherConfig cfg = {});
+  Dispatcher(const Dispatcher&) = delete;
+  Dispatcher& operator=(const Dispatcher&) = delete;
+
+  /// Offers a request at the current virtual time. Non-blocking: either
+  /// admits (spawning the serving process) or drops under overload.
+  void offer(Request r);
+
+  /// Declares the arrival stream finished; drain() can then complete.
+  void close();
+
+  /// Waits until every admitted request reached DONE and close() was called.
+  sim::Task<> drain();
+
+  const Stats& stats() const { return stats_; }
+  const PlacementPolicy& policy() const { return *policy_; }
+  Cluster& cluster() { return *cluster_; }
+
+  /// Node chosen for each admitted request, in admission order — the
+  /// determinism tests compare this sequence across reruns.
+  const std::vector<int>& placements() const { return placements_; }
+
+  /// Attained latency (arrival -> output landed) per completed request, us,
+  /// in completion order.
+  std::span<const double> latencies_us() const { return latencies_us_; }
+
+  /// Arrival/completion spans of completed requests (timeline export).
+  struct Span {
+    sim::Time arrival = 0;
+    sim::Time done = 0;
+  };
+  std::span<const Span> spans() const { return spans_; }
+
+  /// Requests admitted and not yet DONE, cluster-wide (sampler signal).
+  int in_flight() const { return in_flight_; }
+
+  /// Max-min spread of per-device completed counts over their mean
+  /// (0 = perfectly balanced, 0 when nothing completed).
+  double load_imbalance() const;
+
+  /// Final counters + latency distribution into `m` under `cluster.*`.
+  void export_metrics(obs::MetricsRegistry& m) const;
+
+  /// Registers a passive per-tick sampler (queue depth, per-device
+  /// outstanding) with the collector. Call before the run starts.
+  void install_sampler(obs::Collector& collector);
+
+ private:
+  struct NodeState {
+    std::unique_ptr<sim::Semaphore> slots;
+    /// In-flight request records indexed by TaskTable entry (id-relative):
+    /// entry reuse is safe because a record is erased at DONE, before the
+    /// slot semaphore lets the next request claim the entry.
+    struct Record {
+      bool active = false;
+      sim::Time arrival = 0;
+      sim::Duration slo = 0;
+      std::int64_t d2h_bytes = 0;
+      double cost = 1.0;
+    };
+    std::vector<Record> records;
+    /// Spawn activity signal for the node's flusher (see flush_timer()).
+    std::uint64_t spawn_epoch = 0;
+    std::unique_ptr<sim::Condition> activity;
+  };
+
+  sim::Simulation& sim() { return cluster_->sim(); }
+  sim::Process serve(Request r, int node_index);
+  /// Pagoda's release chain frees a TaskTable entry only when a successor
+  /// spawns into the column or the CPU flushes. Under open-loop arrivals a
+  /// lull would strand each node's most recent task forever, so this
+  /// per-node process waits for spawn activity to go quiet and then plays
+  /// the paper's CPU waiter (flush + lazy aggregate copy-backs) until the
+  /// node drains.
+  sim::Process flush_timer(int node_index);
+  void on_task_complete(int node_index, runtime::TaskId id);
+  void finalize(int node_index, NodeState::Record rec);
+
+  Cluster* cluster_;
+  std::unique_ptr<PlacementPolicy> policy_;
+  DispatcherConfig cfg_;
+  std::vector<NodeState> node_state_;
+  Stats stats_;
+  std::vector<int> placements_;
+  std::vector<double> latencies_us_;
+  std::vector<Span> spans_;
+  int in_flight_ = 0;
+  int backlog_ = 0;  // admitted, waiting for a node slot
+  bool closed_ = false;
+  sim::Condition drained_;
+};
+
+}  // namespace pagoda::cluster

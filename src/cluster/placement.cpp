@@ -1,0 +1,108 @@
+#include "cluster/placement.h"
+
+#include <array>
+
+#include "common/rng.h"
+
+namespace pagoda::cluster {
+namespace {
+
+/// Lowest-index node minimizing outstanding requests.
+int least_outstanding_node(const Cluster& cluster) {
+  int best = 0;
+  for (int i = 1; i < cluster.size(); ++i) {
+    if (cluster.node(i).outstanding() < cluster.node(best).outstanding()) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+class RoundRobin final : public PlacementPolicy {
+ public:
+  std::string_view name() const override { return "round-robin"; }
+  int pick(const Cluster& cluster, const Request&) override {
+    const int n = next_++ % cluster.size();
+    return n;
+  }
+
+ private:
+  int next_ = 0;
+};
+
+class LeastOutstanding final : public PlacementPolicy {
+ public:
+  std::string_view name() const override { return "least-outstanding"; }
+  int pick(const Cluster& cluster, const Request&) override {
+    return least_outstanding_node(cluster);
+  }
+};
+
+class LeastLoaded final : public PlacementPolicy {
+ public:
+  std::string_view name() const override { return "least-loaded"; }
+  int pick(const Cluster& cluster, const Request&) override {
+    int best = 0;
+    double best_score = score(cluster.node(0));
+    for (int i = 1; i < cluster.size(); ++i) {
+      const double s = score(cluster.node(i));
+      if (s < best_score) {
+        best = i;
+        best_score = s;
+      }
+    }
+    return best;
+  }
+
+ private:
+  /// Current executor occupancy plus outstanding service demand per unit of
+  /// executor capacity. Demand uses the requests' cost estimates, not their
+  /// count: under a skewed workload a node stuck behind one 100x-wide
+  /// request scores far above a peer holding the same number of small ones,
+  /// which a pure count (least-outstanding) cannot see.
+  static double score(const GpuNode& node) {
+    return node.busy_executor_fraction() +
+           node.outstanding_work() /
+               static_cast<double>(node.executor_warp_capacity());
+  }
+};
+
+class DataAffinity final : public PlacementPolicy {
+ public:
+  std::string_view name() const override { return "data-affinity"; }
+  int pick(const Cluster& cluster, const Request& r) override {
+    if (r.data_key == 0) return least_outstanding_node(cluster);
+    // A node already holding the data wins outright (no copy at all).
+    for (int i = 0; i < cluster.size(); ++i) {
+      if (cluster.node(i).cache_contains(r.data_key)) return i;
+    }
+    // Cold key: a stable home node, so future requests for the same key hit.
+    const int home =
+        static_cast<int>(hash_index(0xAFF1D17AULL, r.data_key) %
+                         static_cast<std::uint64_t>(cluster.size()));
+    // Saturated home: spill to the least-outstanding node rather than queue
+    // behind a full TaskTable (the spill target caches the key, so the
+    // key's home effectively migrates with the load).
+    if (cluster.node(home).outstanding() >= cluster.node(home).capacity()) {
+      return least_outstanding_node(cluster);
+    }
+    return home;
+  }
+};
+
+constexpr std::array<std::string_view, 4> kPolicyNames = {
+    "round-robin", "least-outstanding", "least-loaded", "data-affinity"};
+
+}  // namespace
+
+std::unique_ptr<PlacementPolicy> make_policy(std::string_view name) {
+  if (name == "round-robin") return std::make_unique<RoundRobin>();
+  if (name == "least-outstanding") return std::make_unique<LeastOutstanding>();
+  if (name == "least-loaded") return std::make_unique<LeastLoaded>();
+  if (name == "data-affinity") return std::make_unique<DataAffinity>();
+  return nullptr;
+}
+
+std::span<const std::string_view> all_policy_names() { return kPolicyNames; }
+
+}  // namespace pagoda::cluster

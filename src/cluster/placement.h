@@ -1,0 +1,44 @@
+// Pluggable placement policies: given the cluster's current load, pick the
+// GPU a request runs on. Decisions happen at admission time (arrival order),
+// are purely functions of simulation state, and therefore replay
+// byte-identically for a fixed seed — the policy-determinism test pins this.
+//
+//   round-robin        — rotate over nodes, blind to load. The baseline.
+//   least-outstanding  — fewest placed-but-unfinished requests; ties break
+//                        to the lowest node index.
+//   least-loaded       — occupancy-aware: executor-warp busy fraction plus
+//                        outstanding work normalized by the node's executor
+//                        capacity (so a Tesla K40 absorbs proportionally
+//                        less than a Titan X). Reads the same passive
+//                        MasterKernel signals the obs::Collector samples.
+//   data-affinity      — route keyed requests to the node already holding
+//                        their input (else a stable home node), avoiding
+//                        redundant H2D copies; falls back to
+//                        least-outstanding when the target saturates or the
+//                        request is unkeyed.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "cluster/cluster.h"
+#include "cluster/request.h"
+
+namespace pagoda::cluster {
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+  virtual std::string_view name() const = 0;
+  /// Node index for this request. Must not mutate the cluster.
+  virtual int pick(const Cluster& cluster, const Request& r) = 0;
+};
+
+/// Factory by policy name; nullptr for an unknown name.
+std::unique_ptr<PlacementPolicy> make_policy(std::string_view name);
+
+/// Every valid `make_policy` name (for CLI help and sweeps).
+std::span<const std::string_view> all_policy_names();
+
+}  // namespace pagoda::cluster

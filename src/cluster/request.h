@@ -1,0 +1,33 @@
+// One serving request: a narrow task plus the cluster-level envelope the
+// Pagoda runtime itself never sees (arrival time, data key, SLO deadline).
+#pragma once
+
+#include <cstdint>
+
+#include "common/time_types.h"
+#include "pagoda/task_table.h"
+
+namespace pagoda::cluster {
+
+struct Request {
+  runtime::TaskParams params;
+  /// Input/output copy volumes charged on the chosen node's data streams.
+  std::int64_t h2d_bytes = 0;
+  std::int64_t d2h_bytes = 0;
+  /// Identity of the request's input data. Requests sharing a key read the
+  /// same buffer; a node that already holds it resident skips the H2D copy.
+  /// 0 = unkeyed (always copied, never cached).
+  std::uint64_t data_key = 0;
+  /// Attained-latency deadline measured from arrival; 0 = no SLO.
+  sim::Duration slo = 0;
+  /// Caller-supplied service-demand estimate in abstract work units (for a
+  /// synthetic request: warps x relative cycle scale). Real serving front
+  /// ends know this hint too (batch size, sequence length, image area);
+  /// load-aware placement uses it to see work skew that per-node request
+  /// counts cannot.
+  double cost = 1.0;
+  /// Caller-assigned index (workload task id, packet number, ...).
+  int index = -1;
+};
+
+}  // namespace pagoda::cluster

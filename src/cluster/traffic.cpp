@@ -1,0 +1,135 @@
+#include "cluster/traffic.h"
+
+#include <charconv>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pagoda::cluster {
+
+namespace {
+
+/// Full-consumption double parse; nullopt on garbage or empty input.
+std::optional<double> parse_double(std::string_view s) {
+  double v = 0.0;
+  const char* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(s.data(), end, v);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return v;
+}
+
+}  // namespace
+
+std::optional<ArrivalConfig> ArrivalConfig::parse(std::string_view spec) {
+  ArrivalConfig cfg;
+  if (spec == "closed") return cfg;
+
+  const std::size_t colon = spec.find(':');
+  const std::string_view kind = spec.substr(0, colon);
+  if (kind != "poisson" && kind != "bursty") return std::nullopt;
+  if (colon == std::string_view::npos) return std::nullopt;  // rate required
+
+  std::string_view rest = spec.substr(colon + 1);
+  const std::size_t colon2 = rest.find(':');
+  const std::optional<double> rate = parse_double(rest.substr(0, colon2));
+  if (!rate.has_value() || *rate <= 0.0) return std::nullopt;
+  cfg.rate_per_sec = *rate;
+
+  if (kind == "poisson") {
+    if (colon2 != std::string_view::npos) return std::nullopt;
+    cfg.kind = ArrivalKind::Poisson;
+    return cfg;
+  }
+  cfg.kind = ArrivalKind::Bursty;
+  if (colon2 != std::string_view::npos) {
+    const std::optional<double> factor = parse_double(rest.substr(colon2 + 1));
+    if (!factor.has_value() || *factor <= 1.0) return std::nullopt;
+    cfg.burst_factor = *factor;
+  }
+  return cfg;
+}
+
+std::string_view ArrivalConfig::choices() {
+  return "closed, poisson:RATE, bursty:RATE[:FACTOR]  (RATE in requests/s; "
+         "FACTOR > 1)";
+}
+
+ArrivalSequence::ArrivalSequence(const ArrivalConfig& cfg, std::uint64_t seed)
+    : cfg_(cfg), rng_(seed) {
+  if (cfg_.kind != ArrivalKind::Closed) {
+    PAGODA_CHECK_MSG(cfg_.rate_per_sec > 0.0, "arrival rate must be positive");
+  }
+}
+
+double ArrivalSequence::exp_sample(double mean) {
+  return -mean * std::log(1.0 - rng_.next_double());
+}
+
+sim::Duration ArrivalSequence::next_gap() {
+  switch (cfg_.kind) {
+    case ArrivalKind::Closed:
+      return 0;
+    case ArrivalKind::Poisson:
+      return sim::seconds(exp_sample(1.0 / cfg_.rate_per_sec));
+    case ArrivalKind::Bursty: {
+      // ON/OFF modulated Poisson: arrivals at burst_factor x the mean rate
+      // during ON phases; the 1/factor duty cycle restores the mean.
+      const double on_rate = cfg_.rate_per_sec * cfg_.burst_factor;
+      const sim::Duration mean_on = cfg_.mean_on;
+      const sim::Duration mean_off = static_cast<sim::Duration>(
+          static_cast<double>(mean_on) * (cfg_.burst_factor - 1.0));
+      sim::Duration gap = 0;
+      while (true) {
+        if (on_left_ <= 0) {
+          gap += static_cast<sim::Duration>(
+              exp_sample(static_cast<double>(mean_off)));
+          on_left_ = static_cast<sim::Duration>(
+              exp_sample(static_cast<double>(mean_on)));
+        }
+        const auto arrival =
+            static_cast<sim::Duration>(sim::seconds(exp_sample(1.0 / on_rate)));
+        if (arrival <= on_left_) {
+          on_left_ -= arrival;
+          return gap + arrival;
+        }
+        gap += on_left_;
+        on_left_ = 0;
+      }
+    }
+  }
+  return 0;
+}
+
+gpu::KernelCoro service_kernel(gpu::WarpCtx& ctx) {
+  const auto& a = ctx.args_as<ServiceArgs>();
+  ctx.charge(a.compute_cycles);
+  ctx.charge_stall(a.stall_cycles);
+  co_return;
+}
+
+Request synth_request(const RequestProfile& p, std::uint64_t seed, int index) {
+  SplitMix64 rng(hash_index(seed, static_cast<std::uint64_t>(index)));
+  double scale = 0.5 + rng.next_double();  // uniform in [0.5, 1.5)
+  if (p.heavy_fraction > 0.0 && rng.next_double() < p.heavy_fraction) {
+    scale *= p.heavy_multiplier;
+  }
+  Request r;
+  r.index = index;
+  r.params.fn = service_kernel;
+  r.params.threads_per_block = p.threads_per_task;
+  r.params.set_args(ServiceArgs{p.compute_cycles * scale,
+                                p.stall_cycles * scale});
+  // Service-demand hint for load-aware placement: warps occupied x relative
+  // cycle scale.
+  r.cost = scale * (static_cast<double>(p.threads_per_task) / 32.0);
+  r.h2d_bytes = p.h2d_bytes;
+  r.d2h_bytes = p.d2h_bytes;
+  if (p.num_keys > 0) {
+    // Keys are 1-based so key 0 keeps meaning "unkeyed".
+    r.data_key = 1 + rng.next_below(static_cast<std::uint64_t>(p.num_keys));
+  }
+  r.slo = p.slo;
+  return r;
+}
+
+}  // namespace pagoda::cluster

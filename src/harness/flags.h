@@ -2,7 +2,9 @@
 //   --tasks=4096 --threads=128 --full --mode=compute --seed=7
 #pragma once
 
+#include <cerrno>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <initializer_list>
@@ -34,9 +36,27 @@ class Flags {
     return std::string(def);
   }
 
+  /// Integer flag value. The whole value must parse — `--tasks=12abc` is an
+  /// error (exit 2), not 12. An absent flag or `--name=` yields `def`.
   std::int64_t get_int(std::string_view name, std::int64_t def) const {
     const std::string v = get(name);
-    return v.empty() ? def : std::strtoll(v.c_str(), nullptr, 10);
+    if (v.empty()) return def;
+    errno = 0;
+    char* end = nullptr;
+    const std::int64_t parsed = std::strtoll(v.c_str(), &end, 10);
+    if (errno != 0 || end != v.c_str() + v.size()) bad_value(name, v);
+    return parsed;
+  }
+
+  /// Floating-point flag value, with the same full-consumption rule.
+  double get_double(std::string_view name, double def) const {
+    const std::string v = get(name);
+    if (v.empty()) return def;
+    errno = 0;
+    char* end = nullptr;
+    const double parsed = std::strtod(v.c_str(), &end);
+    if (errno != 0 || end != v.c_str() + v.size()) bad_value(name, v);
+    return parsed;
   }
 
   /// First argument that is not `--name` or `--name=value` for a name in
@@ -64,6 +84,13 @@ class Flags {
   }
 
  private:
+  [[noreturn]] static void bad_value(std::string_view name,
+                                     const std::string& value) {
+    std::fprintf(stderr, "invalid value for --%.*s: '%s'\n",
+                 static_cast<int>(name.size()), name.data(), value.c_str());
+    std::exit(2);
+  }
+
   std::vector<std::string> args_;
 };
 

@@ -12,12 +12,20 @@
 //    seeded runs produce byte-identical snapshots (the determinism test
 //    pins this).
 //
+// Multi-GPU runs attach each device/runtime pair with a distinct name
+// prefix ("dev00." ...): per-device series and counters keep their usual
+// names under that prefix, so one registry snapshot covers a whole cluster.
+// The empty prefix is the single-GPU spelling and keeps the historical
+// metric names unchanged.
+//
 // Lifecycle: construct -> attach_*() while the drivers build their run state
 // -> (simulation runs; sampler ticks) -> finish(end_time, tasks) BEFORE the
 // Simulation is destroyed. A Collector serves exactly one run.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "common/time_types.h"
@@ -62,20 +70,30 @@ class Collector {
   bool timeline_enabled() const { return cfg_.timeline; }
   bool trace_enabled() const { return cfg_.trace || cfg_.timeline; }
   /// The Pagoda protocol trace recorded when trace_enabled(). Valid for the
-  /// Collector's lifetime.
+  /// Collector's lifetime. Only the default-prefix ("") runtime feeds it —
+  /// TaskIds from different devices would collide in one recorder.
   const runtime::TraceRecorder& trace() const { return trace_; }
 
   // --- driver hooks --------------------------------------------------------
-  /// Installs SMM/PCIe/dispatcher samplers and observers. Call once, before
-  /// the workload starts (time 0).
-  void attach_device(gpu::Device& dev);
+  /// Installs SMM/PCIe/dispatcher samplers and observers for one device.
+  /// Call before the workload starts (time 0); once per (device, prefix).
+  /// Metric and track names gain `prefix` verbatim ("" for single-GPU runs,
+  /// "dev00." etc. for cluster nodes).
+  void attach_device(gpu::Device& dev, std::string prefix = "");
 
-  /// Adds TaskTable / MasterKernel / shmem sampling; wires the protocol
-  /// trace recorder into the runtime when tracing is on.
-  void attach_pagoda(runtime::Runtime& rt);
+  /// Adds TaskTable / MasterKernel / shmem sampling for one runtime, under
+  /// `prefix`; wires the protocol trace recorder into the runtime when
+  /// tracing is on (default prefix only).
+  void attach_pagoda(runtime::Runtime& rt, std::string prefix = "");
 
   /// CPU-pool sampling for the host-only baselines.
   void attach_cpu(sim::Simulation& sim, const host::CpuCluster& cpu);
+
+  /// Extension hook: `fn(now)` runs on every sampler tick, after the
+  /// built-in samplers. Must observe only (the passivity invariant applies).
+  /// Higher layers (the cluster dispatcher) record their own series here
+  /// without obs depending on them.
+  void add_sampler(sim::Simulation& sim, std::function<void(sim::Time)> fn);
 
   /// One executed task interval on the generic "tasks" track (timeline
   /// only). Ignores incomplete intervals (start or end unset).
@@ -89,10 +107,35 @@ class Collector {
   bool finished() const { return finished_; }
 
  private:
+  struct DeviceSlot {
+    gpu::Device* dev = nullptr;
+    std::string prefix;
+    // Windowed-delta state for rate series.
+    std::vector<double> prev_smm_busy;  // busy_work_seconds per SMM
+    std::int64_t prev_h2d_bytes = 0;
+    std::int64_t prev_d2h_bytes = 0;
+    // Interned timeline handles (valid when timeline_enabled()).
+    Timeline::TrackId track_h2d = 0;
+    Timeline::TrackId track_d2h = 0;
+    Timeline::TrackId track_grids = 0;
+  };
+  struct RuntimeSlot {
+    runtime::Runtime* rt = nullptr;
+    std::string prefix;
+  };
+
   void ensure_sampler(sim::Simulation& sim);
   void schedule_tick();
   void tick();
   void sample(sim::Time now);
+  void sample_device(DeviceSlot& slot, sim::Time now, double window);
+  void sample_runtime(RuntimeSlot& slot, sim::Time now);
+  void finish_device(DeviceSlot& slot, double elapsed, sim::Time end_time);
+  void finish_runtime(RuntimeSlot& slot, double elapsed);
+  const RuntimeSlot* runtime_for_prefix(const std::string& prefix) const;
+  std::string key(const std::string& prefix, const char* name) const {
+    return prefix + name;
+  }
 
   CollectorConfig cfg_;
   MetricsRegistry metrics_;
@@ -100,24 +143,16 @@ class Collector {
   runtime::TraceRecorder trace_;
 
   sim::Simulation* sim_ = nullptr;
-  gpu::Device* dev_ = nullptr;
-  runtime::Runtime* rt_ = nullptr;
+  std::vector<DeviceSlot> devices_;
+  std::vector<RuntimeSlot> runtimes_;
   const host::CpuCluster* cpu_ = nullptr;
+  std::vector<std::function<void(sim::Time)>> extra_samplers_;
 
   sim::EventId tick_event_ = 0;
   sim::Time last_sample_ = 0;
   bool finished_ = false;
 
-  // Windowed-delta state for rate series.
-  std::vector<double> prev_smm_busy_;   // busy_work_seconds per SMM
-  std::int64_t prev_h2d_bytes_ = 0;
-  std::int64_t prev_d2h_bytes_ = 0;
-
-  // Interned timeline handles (valid when timeline_enabled()).
   Timeline::TrackId track_tasks_ = 0;
-  Timeline::TrackId track_h2d_ = 0;
-  Timeline::TrackId track_d2h_ = 0;
-  Timeline::TrackId track_grids_ = 0;
 };
 
 }  // namespace pagoda::obs

@@ -7,9 +7,21 @@
 
 namespace pagoda::runtime {
 
+namespace {
+
+// Construction-order uid. Deterministic: drivers build their runtimes
+// single-threaded, in a fixed order, before the simulation runs.
+std::uint64_t next_runtime_uid() {
+  static std::uint64_t counter = 0;
+  return ++counter;
+}
+
+}  // namespace
+
 Runtime::Runtime(gpu::Device& dev, host::HostCosts host_costs,
                  PagodaConfig cfg)
     : dev_(dev),
+      uid_(next_runtime_uid()),
       hc_(host_costs),
       cfg_(cfg),
       cpu_table_(dev.num_smms() * MasterKernel::kMtbsPerSmm,
@@ -114,7 +126,7 @@ sim::Task<TaskHandle> Runtime::task_spawn(TaskParams params) {
     co_await copy_entry_to_gpu_locked(id);
   }
   spawn_lock_.release();
-  co_return TaskHandle{id, gen};
+  co_return TaskHandle{id, gen, uid_};
 }
 
 sim::Task<> Runtime::copy_entry_to_gpu_locked(TaskId id) {
@@ -197,9 +209,16 @@ sim::Task<> Runtime::copy_back_entry_locked(TaskId id) {
 }
 
 bool Runtime::is_done_cpu_view(const TaskHandle& h) const {
+  PAGODA_CHECK_MSG(h.owner == uid_,
+                   "TaskHandle presented to a Runtime that did not issue it");
   PAGODA_CHECK(cpu_table_.valid_id(h.id));
   const std::size_t idx = static_cast<std::size_t>(h.id - kFirstTaskId);
-  if (generation_[idx] != h.generation) return true;  // entry recycled
+  // Recycled handle (a later spawn reused the entry): the original task is
+  // necessarily done — the entry could only be reissued after it freed — so
+  // report done WITHOUT consulting the entry, which now describes a
+  // different, possibly still-running task. Cluster-level retries depend on
+  // wait() never blocking on a successor's completion here.
+  if (generation_[idx] != h.generation) return true;
   return cpu_table_.by_id(h.id).ready == kReadyFree;
 }
 

@@ -40,11 +40,15 @@
 namespace pagoda::runtime {
 
 /// Handle returned by task_spawn. The generation disambiguates recycled
-/// TaskTable entries (host-side bookkeeping only; the wire protocol is
-/// unchanged from the paper).
+/// TaskTable entries and the owner uid pins the handle to the Runtime that
+/// issued it (host-side bookkeeping only; the wire protocol is unchanged
+/// from the paper). A handle whose entry has been recycled reports done —
+/// it never aliases the later task now occupying the entry — and a handle
+/// presented to a different Runtime (a multi-GPU routing bug) aborts.
 struct TaskHandle {
   TaskId id = 0;
   std::uint64_t generation = 0;
+  std::uint64_t owner = 0;
   bool valid() const { return id >= kFirstTaskId; }
 };
 
@@ -105,6 +109,9 @@ class Runtime {
     mk_.set_trace_recorder(trace);
   }
   gpu::Device& device() { return dev_; }
+  /// Identity stamped into every TaskHandle this Runtime issues; wait/check
+  /// abort on a handle carrying a different uid.
+  std::uint64_t uid() const { return uid_; }
   const PagodaConfig& config() const { return cfg_; }
   const TaskTable& cpu_table() const { return cpu_table_; }
   /// GPU-side mirror of the TaskTable (observability: per-state occupancy
@@ -126,6 +133,7 @@ class Runtime {
   sim::Task<> copy_entry_to_gpu_locked(TaskId id);
 
   gpu::Device& dev_;
+  std::uint64_t uid_;
   host::HostCosts hc_;
   PagodaConfig cfg_;
   TaskTable cpu_table_;

@@ -1,0 +1,281 @@
+// Cluster serving layer tests: placement determinism, SLO/drop accounting
+// under constructed overload, exactly-once backpressure release, and
+// heterogeneous-spec clusters (parameterized so nothing hard-codes Titan X).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/dispatcher.h"
+#include "cluster/placement.h"
+#include "cluster/traffic.h"
+#include "obs/metrics.h"
+#include "sim/process.h"
+
+namespace pagoda::cluster {
+namespace {
+
+gpu::GpuSpec spec_by_name(const std::string& name) {
+  if (name == "k40") return gpu::GpuSpec::tesla_k40();
+  return gpu::GpuSpec::titan_x();
+}
+
+struct RunSpec {
+  std::vector<std::string> nodes = {"titan_x", "titan_x"};
+  std::string policy = "round-robin";
+  ArrivalConfig arrival{};
+  RequestProfile profile{};
+  int requests = 64;
+  std::uint64_t seed = 0xC0FFEE;
+  int queue_limit = 0;
+  /// >0: shrink every node to this many SMMs (tiny TaskTables, so overload
+  /// tests can exhaust the per-node slots with few requests).
+  int num_smms = 0;
+};
+
+struct RunOutput {
+  Dispatcher::Stats stats;
+  std::vector<int> placements;
+  std::vector<std::int64_t> per_node_completed;
+  std::string metrics_json;
+  bool done = false;
+  sim::Time end_time = 0;
+};
+
+sim::Process feed(sim::Simulation& sim, Dispatcher& disp, const RunSpec& rs) {
+  ArrivalSequence seq(rs.arrival, rs.seed);
+  for (int i = 0; i < rs.requests; ++i) {
+    const sim::Duration gap = seq.next_gap();
+    if (gap > 0) co_await sim.delay(gap);
+    disp.offer(synth_request(rs.profile, rs.seed, i));
+  }
+  disp.close();
+}
+
+sim::Process settle(Dispatcher& disp, RunOutput& out, sim::Simulation& sim) {
+  co_await disp.drain();
+  out.end_time = sim.now();
+  out.done = true;
+}
+
+RunOutput run_cluster(const RunSpec& rs) {
+  sim::Simulation sim;
+  std::vector<NodeConfig> nodes;
+  for (const std::string& name : rs.nodes) {
+    NodeConfig nc;
+    nc.spec = spec_by_name(name);
+    if (rs.num_smms > 0) nc.spec.num_smms = rs.num_smms;
+    nodes.push_back(nc);
+  }
+  Cluster fleet(sim, nodes);
+  DispatcherConfig dc;
+  dc.queue_limit = rs.queue_limit;
+  Dispatcher disp(fleet, make_policy(rs.policy), dc);
+  fleet.start();
+
+  RunOutput out;
+  sim.spawn(feed(sim, disp, rs));
+  sim.spawn(settle(disp, out, sim));
+  sim.run_until(sim::seconds(60.0));
+
+  out.stats = disp.stats();
+  out.placements = disp.placements();
+  for (int i = 0; i < fleet.size(); ++i) {
+    out.per_node_completed.push_back(fleet.node(i).completed());
+  }
+  obs::MetricsRegistry m;
+  disp.export_metrics(m);
+  std::ostringstream os;
+  m.write_json(os);
+  out.metrics_json = os.str();
+  fleet.shutdown();
+  return out;
+}
+
+RunSpec poisson_spec(const std::string& policy) {
+  RunSpec rs;
+  rs.policy = policy;
+  rs.arrival.kind = ArrivalKind::Poisson;
+  rs.arrival.rate_per_sec = 150.0e3;
+  rs.profile.slo = sim::milliseconds(5.0);
+  rs.profile.num_keys = 16;  // give data-affinity something to key on
+  return rs;
+}
+
+// --- determinism --------------------------------------------------------------
+
+TEST(ClusterDeterminism, SameSeedSamePlacementsAndMetrics) {
+  // The determinism contract of the whole layer: a (config, seed) pair
+  // replays the identical placement sequence and a byte-identical metrics
+  // snapshot, for every policy.
+  for (const std::string_view policy : all_policy_names()) {
+    const RunSpec rs = poisson_spec(std::string(policy));
+    const RunOutput a = run_cluster(rs);
+    const RunOutput b = run_cluster(rs);
+    ASSERT_TRUE(a.done) << policy;
+    ASSERT_TRUE(b.done) << policy;
+    EXPECT_EQ(a.placements, b.placements) << policy;
+    EXPECT_EQ(a.metrics_json, b.metrics_json) << policy;
+    EXPECT_EQ(a.end_time, b.end_time) << policy;
+  }
+}
+
+TEST(ClusterDeterminism, SeedsChangeTheArrivalTrace) {
+  RunSpec rs = poisson_spec("round-robin");
+  const RunOutput a = run_cluster(rs);
+  rs.seed += 1;
+  const RunOutput b = run_cluster(rs);
+  ASSERT_TRUE(a.done && b.done);
+  EXPECT_NE(a.end_time, b.end_time);
+}
+
+// --- placement policies -------------------------------------------------------
+
+TEST(ClusterPlacement, RoundRobinRotates) {
+  RunSpec rs = poisson_spec("round-robin");
+  rs.requests = 10;
+  const RunOutput out = run_cluster(rs);
+  ASSERT_TRUE(out.done);
+  ASSERT_EQ(out.placements.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(out.placements[static_cast<std::size_t>(i)], i % 2);
+}
+
+TEST(ClusterPlacement, DataAffinitySkipsRepeatCopies) {
+  // 16 keys over 64 requests: after each key's first copy the node holds it
+  // resident, so the affinity policy must skip most H2D input copies.
+  const RunOutput affinity = run_cluster(poisson_spec("data-affinity"));
+  const RunOutput rr = run_cluster(poisson_spec("round-robin"));
+  ASSERT_TRUE(affinity.done && rr.done);
+  EXPECT_GT(affinity.stats.affinity_hits, 0);
+  EXPECT_LT(affinity.stats.h2d_bytes_copied, rr.stats.h2d_bytes_copied);
+}
+
+// --- SLO accounting and admission control -------------------------------------
+
+TEST(ClusterSlo, OverloadProducesDropsAndViolations) {
+  // Constructed overload: a tiny backlog bound with a far-too-fast arrival
+  // stream. Drops must be deterministic, counted, and charged as SLO misses.
+  RunSpec rs = poisson_spec("least-outstanding");
+  rs.arrival.rate_per_sec = 5.0e6;
+  rs.profile.compute_cycles = 200000.0;
+  rs.profile.stall_cycles = 400000.0;
+  rs.requests = 256;
+  rs.queue_limit = 8;
+  rs.num_smms = 1;  // 64 TaskTable slots per node, so overload really queues
+  const RunOutput out = run_cluster(rs);
+  ASSERT_TRUE(out.done);
+  EXPECT_GT(out.stats.dropped, 0);
+  EXPECT_EQ(out.stats.offered, out.stats.admitted + out.stats.dropped);
+  EXPECT_EQ(out.stats.completed, out.stats.admitted);
+  // Every drop carries the request's SLO, so it must be charged as a miss.
+  EXPECT_GE(out.stats.slo_violations, out.stats.dropped);
+}
+
+TEST(ClusterSlo, ImpossibleDeadlineViolatesEverywhere) {
+  RunSpec rs = poisson_spec("round-robin");
+  rs.profile.slo = sim::microseconds(1.0);  // below any attainable latency
+  const RunOutput out = run_cluster(rs);
+  ASSERT_TRUE(out.done);
+  EXPECT_EQ(out.stats.slo_violations, out.stats.offered);
+}
+
+TEST(ClusterBackpressure, SlotsReleasedExactlyOncePerAdmitted) {
+  // The per-node slot semaphore must see exactly one release per admitted
+  // request — double release would overcommit TaskTables, a missing one
+  // would deadlock later runs.
+  for (const std::string_view policy : all_policy_names()) {
+    RunSpec rs = poisson_spec(std::string(policy));
+    rs.requests = 128;
+    const RunOutput out = run_cluster(rs);
+    ASSERT_TRUE(out.done) << policy;
+    EXPECT_EQ(out.stats.slot_releases, out.stats.admitted) << policy;
+    EXPECT_EQ(out.stats.completed, out.stats.admitted) << policy;
+  }
+}
+
+// --- heterogeneous clusters (cross_arch idiom) --------------------------------
+
+class ClusterArch : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ClusterArch, MixedFleetServesEverything) {
+  RunSpec rs = poisson_spec("least-loaded");
+  const std::string param = GetParam();
+  if (param == "titan_x") {
+    rs.nodes = {"titan_x", "titan_x"};
+  } else if (param == "k40") {
+    rs.nodes = {"k40", "k40"};
+  } else {
+    rs.nodes = {"titan_x", "k40"};
+  }
+  rs.requests = 96;
+  const RunOutput out = run_cluster(rs);
+  ASSERT_TRUE(out.done);
+  EXPECT_EQ(out.stats.completed, out.stats.offered);
+  // Load-aware placement must use the whole fleet, whatever its makeup.
+  for (const std::int64_t c : out.per_node_completed) EXPECT_GT(c, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fleets, ClusterArch,
+                         ::testing::Values("titan_x", "k40", "mixed"));
+
+// --- traffic parsing ----------------------------------------------------------
+
+TEST(ClusterTraffic, ArrivalSpecParsing) {
+  EXPECT_TRUE(ArrivalConfig::parse("closed").has_value());
+  const auto poisson = ArrivalConfig::parse("poisson:2500");
+  ASSERT_TRUE(poisson.has_value());
+  EXPECT_EQ(poisson->kind, ArrivalKind::Poisson);
+  EXPECT_DOUBLE_EQ(poisson->rate_per_sec, 2500.0);
+  const auto bursty = ArrivalConfig::parse("bursty:1e5:12");
+  ASSERT_TRUE(bursty.has_value());
+  EXPECT_EQ(bursty->kind, ArrivalKind::Bursty);
+  EXPECT_DOUBLE_EQ(bursty->burst_factor, 12.0);
+
+  EXPECT_FALSE(ArrivalConfig::parse("poisson").has_value());
+  EXPECT_FALSE(ArrivalConfig::parse("poisson:").has_value());
+  EXPECT_FALSE(ArrivalConfig::parse("poisson:-5").has_value());
+  EXPECT_FALSE(ArrivalConfig::parse("poisson:10:3").has_value());
+  EXPECT_FALSE(ArrivalConfig::parse("bursty:10:1").has_value());
+  EXPECT_FALSE(ArrivalConfig::parse("bursty:10x").has_value());
+  EXPECT_FALSE(ArrivalConfig::parse("sawtooth:10").has_value());
+}
+
+TEST(ClusterTraffic, PoissonGapsMatchTheConfiguredRate) {
+  ArrivalConfig cfg;
+  cfg.kind = ArrivalKind::Poisson;
+  cfg.rate_per_sec = 1.0e5;
+  ArrivalSequence seq(cfg, 99);
+  double total_s = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) total_s += sim::to_seconds(seq.next_gap());
+  const double mean_gap_us = total_s / kN * 1e6;
+  EXPECT_NEAR(mean_gap_us, 10.0, 0.5);  // 1/100k s = 10 us
+}
+
+TEST(ClusterTraffic, BurstyKeepsTheLongRunMeanRate) {
+  ArrivalConfig cfg;
+  cfg.kind = ArrivalKind::Bursty;
+  cfg.rate_per_sec = 1.0e5;
+  cfg.burst_factor = 8.0;
+  ArrivalSequence seq(cfg, 7);
+  double total_s = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) total_s += sim::to_seconds(seq.next_gap());
+  const double mean_gap_us = total_s / kN * 1e6;
+  EXPECT_NEAR(mean_gap_us, 10.0, 1.0);
+}
+
+TEST(ClusterTraffic, UnknownPolicyNameReturnsNull) {
+  EXPECT_EQ(make_policy("bogus"), nullptr);
+  for (const std::string_view name : all_policy_names()) {
+    const auto p = make_policy(name);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->name(), name);
+  }
+}
+
+}  // namespace
+}  // namespace pagoda::cluster

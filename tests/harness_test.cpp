@@ -6,9 +6,49 @@
 
 #include "harness/calibration.h"
 #include "harness/experiment.h"
+#include "harness/flags.h"
 
 namespace pagoda::harness {
 namespace {
+
+Flags make_flags(std::initializer_list<const char*> args) {
+  std::vector<char*> argv = {const_cast<char*>("prog")};
+  for (const char* a : args) argv.push_back(const_cast<char*>(a));
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, GetIntParsesAndDefaults) {
+  const Flags f = make_flags({"--tasks=4096", "--neg=-12"});
+  EXPECT_EQ(f.get_int("tasks", 1), 4096);
+  EXPECT_EQ(f.get_int("neg", 1), -12);
+  EXPECT_EQ(f.get_int("absent", 17), 17);
+}
+
+TEST(Flags, GetDoubleParsesAndDefaults) {
+  const Flags f = make_flags({"--rate=2.5e3", "--frac=0.125"});
+  EXPECT_DOUBLE_EQ(f.get_double("rate", 0.0), 2500.0);
+  EXPECT_DOUBLE_EQ(f.get_double("frac", 0.0), 0.125);
+  EXPECT_DOUBLE_EQ(f.get_double("absent", 1.5), 1.5);
+}
+
+TEST(FlagsDeathTest, GetIntRejectsTrailingGarbage) {
+  // Regression: --tasks=12abc used to silently parse as 12.
+  const Flags f = make_flags({"--tasks=12abc"});
+  EXPECT_EXIT(f.get_int("tasks", 1), ::testing::ExitedWithCode(2),
+              "invalid value for --tasks: '12abc'");
+}
+
+TEST(FlagsDeathTest, GetIntRejectsNonNumeric) {
+  const Flags f = make_flags({"--tasks=lots"});
+  EXPECT_EXIT(f.get_int("tasks", 1), ::testing::ExitedWithCode(2),
+              "invalid value for --tasks");
+}
+
+TEST(FlagsDeathTest, GetDoubleRejectsTrailingGarbage) {
+  const Flags f = make_flags({"--rate=1.5x"});
+  EXPECT_EXIT(f.get_double("rate", 0.0), ::testing::ExitedWithCode(2),
+              "invalid value for --rate: '1.5x'");
+}
 
 TEST(Experiment, GemtcGetsNoSharedMemoryVariant) {
   // §6.2: GeMTC cannot use shared memory; run_experiment must generate the

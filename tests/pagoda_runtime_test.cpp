@@ -339,6 +339,98 @@ TEST(PagodaRuntime, CheckReflectsCpuViewLag) {
   rt.shutdown();
 }
 
+// --- handle identity: recycled entries and foreign runtimes -------------------
+
+// Burns enough pipeline cycles that the task is still running while the host
+// probes a stale handle.
+KernelCoro slow_kernel(WarpCtx& ctx) {
+  ctx.charge(2.0e5);
+  co_return;
+}
+
+TEST(PagodaRuntime, WaitOnRecycledHandleReturnsImmediately) {
+  // A handle whose TaskTable entry was reissued to a later task must report
+  // done at once — never block on (or observe) the later task's completion.
+  // Cluster-level retry loops re-wait old handles and depend on this.
+  Simulation sim;
+  GpuSpec spec = GpuSpec::titan_x();
+  spec.num_smms = 1;  // 2 MTBs x 32 rows = 64 TaskTable entries
+  Device dev(sim, spec);
+  Runtime rt(dev);
+  rt.start();
+  std::vector<int> out(32, -1);
+  struct Body {
+    static sim::Process run(Runtime& rt, std::vector<int>& out, bool& done) {
+      const TaskHandle h0 =
+          co_await rt.task_spawn(make_tid_task(out.data(), 32, 32, 1));
+      co_await rt.wait(h0);
+
+      // Fill the whole table with slow tasks; the cursor wraps, so one of
+      // them reuses h0's entry with a bumped generation.
+      TaskParams slow;
+      slow.fn = slow_kernel;
+      slow.threads_per_block = 32;
+      bool recycled = false;
+      for (int t = 0; t < 64; ++t) {
+        const TaskHandle h = co_await rt.task_spawn(slow);
+        if (h.id == h0.id) {
+          recycled = true;
+          EXPECT_NE(h.generation, h0.generation);
+        }
+      }
+      EXPECT_TRUE(recycled);
+
+      // The recycled entry's new occupant is still running, so the entry's
+      // ready field is non-free — yet the stale handle must read as done.
+      EXPECT_LT(rt.master_kernel().tasks_completed(), 65);
+      EXPECT_TRUE(rt.check(h0));
+      const sim::Time before = rt.device().sim().now();
+      co_await rt.wait(h0);
+      const sim::Duration waited = rt.device().sim().now() - before;
+      // One event_query poll, no wait_poll timeout round.
+      EXPECT_LT(waited, sim::microseconds(20.0));
+      EXPECT_LT(rt.master_kernel().tasks_completed(), 65);
+
+      co_await rt.wait_all();
+      done = true;
+    }
+  };
+  bool done = false;
+  sim.spawn(Body::run(rt, out, done));
+  sim.run_until(sim::seconds(2.0));
+  ASSERT_TRUE(done);
+  EXPECT_EQ(rt.master_kernel().tasks_completed(), 65);
+  rt.shutdown();
+}
+
+TEST(PagodaRuntimeDeathTest, ForeignHandleAborts) {
+  // A TaskHandle routed to a Runtime that did not issue it (a cluster-level
+  // routing bug) must abort loudly, not silently read another GPU's table.
+  Simulation sim;
+  Device dev_a(sim, GpuSpec::titan_x());
+  Device dev_b(sim, GpuSpec::titan_x());
+  Runtime rt_a(dev_a);
+  Runtime rt_b(dev_b);
+  rt_a.start();
+  rt_b.start();
+  std::vector<int> out(32, -1);
+  TaskHandle h;
+  struct Body {
+    static sim::Process run(Runtime& rt, std::vector<int>& out,
+                            TaskHandle& h) {
+      h = co_await rt.task_spawn(make_tid_task(out.data(), 32, 32, 1));
+      co_await rt.wait(h);
+    }
+  };
+  sim.spawn(Body::run(rt_a, out, h));
+  sim.run_until(sim::milliseconds(50));
+  ASSERT_TRUE(h.valid());
+  EXPECT_TRUE(rt_a.check(h));
+  EXPECT_DEATH(rt_b.check(h), "did not issue");
+  rt_a.shutdown();
+  rt_b.shutdown();
+}
+
 // --- TaskTable unit behaviour ---------------------------------------------------
 
 TEST(TaskTable, IdMappingRoundTrips) {

@@ -23,12 +23,38 @@ run_pass() {
   (cd "${dir}" && ctest --output-on-failure -j "${JOBS}")
 }
 
+cluster_smoke() {
+  local dir="$1"
+  echo "==> cluster smoke ${dir}"
+  "${dir}/tools/pagoda_cli" --workload=MM --tasks=512 --gpus=2 \
+      --policy=least-loaded --arrival=poisson:150000 --slo-us=5000 >/dev/null
+  # Bad cluster flag values must fail fast and print the valid choices.
+  if "${dir}/tools/pagoda_cli" --workload=MM --gpus=2 --policy=bogus \
+      >/dev/null 2>&1; then
+    echo "error: bad --policy unexpectedly accepted" >&2
+    exit 1
+  fi
+  # pagoda_cli exits nonzero here by design; || true keeps pipefail happy.
+  ("${dir}/tools/pagoda_cli" --workload=MM --gpus=2 --policy=bogus 2>&1 || true) |
+    grep -q "valid policies"
+  ("${dir}/tools/pagoda_cli" --workload=MM --gpus=2 --arrival=sawtooth 2>&1 || true) |
+    grep -q "poisson:RATE"
+}
+
 run_pass build-release -DCMAKE_BUILD_TYPE=Release -DPAGODA_WERROR=ON
+cluster_smoke build-release
+
+echo "==> bench determinism (cluster_scaling)"
+build-release/bench/cluster_scaling --tasks=512 --out=/tmp/pagoda_cluster_a.json >/dev/null
+build-release/bench/cluster_scaling --tasks=512 --out=/tmp/pagoda_cluster_b.json >/dev/null
+cmp /tmp/pagoda_cluster_a.json /tmp/pagoda_cluster_b.json
+rm -f /tmp/pagoda_cluster_a.json /tmp/pagoda_cluster_b.json
 
 if [[ "${1:-}" != "--fast" ]]; then
   run_pass build-asan \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     "-DPAGODA_SANITIZE=${SANITIZERS}"
+  cluster_smoke build-asan
 fi
 
 echo "==> all checks passed"

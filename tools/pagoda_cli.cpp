@@ -22,6 +22,8 @@
 #include <string>
 
 #include "baselines/factories.h"
+#include "cluster/placement.h"
+#include "cluster/traffic.h"
 #include "common/stats.h"
 #include "harness/calibration.h"
 #include "harness/experiment.h"
@@ -40,15 +42,52 @@ int list_options() {
     std::printf("%s ", std::string(wl).c_str());
   }
   std::printf("\nruntimes:  Sequential PThreads HyperQ GeMTC Fusion Pagoda "
-              "PagodaBatching\n");
+              "PagodaBatching Cluster\n");
   std::printf(
       "flags:     --tasks=N --threads=N --blocks=N --seed=N --input=N\n"
       "           --irregular --dynamic-threads --no-shmem --no-copies\n"
       "           --compute --batch=N --rows=N --two-copy\n"
       "           --metrics[=out.json] --metrics-period=US\n"
       "           --profile[=out.json] --trace=out.csv "
-      "--trace-format=csv|chrome\n");
+      "--trace-format=csv|chrome\n"
+      "cluster:   --gpus=N | --gpus=titanx,k40,...   (selects the Cluster "
+      "runtime)\n"
+      "           --policy=NAME --arrival=SPEC --slo-us=X --queue-limit=N\n");
+  std::printf("policies:  ");
+  for (const std::string_view p : cluster::all_policy_names()) {
+    std::printf("%s ", std::string(p).c_str());
+  }
+  std::printf("\narrivals:  %s\n",
+              std::string(cluster::ArrivalConfig::choices()).c_str());
   return 0;
+}
+
+/// --gpus= value: a device count ("4") or a comma list of spec names
+/// ("titanx,k40"). Empty vector on a malformed value.
+std::vector<gpu::GpuSpec> parse_gpus(const std::string& v) {
+  std::vector<gpu::GpuSpec> specs;
+  if (v.find_first_not_of("0123456789") == std::string::npos && !v.empty()) {
+    const int n = std::stoi(v);
+    if (n < 1 || n > 64) return {};
+    specs.assign(static_cast<std::size_t>(n), gpu::GpuSpec::titan_x());
+    return specs;
+  }
+  std::size_t pos = 0;
+  while (pos <= v.size()) {
+    const std::size_t comma = v.find(',', pos);
+    const std::string name = v.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (name == "titanx" || name == "titan_x") {
+      specs.push_back(gpu::GpuSpec::titan_x());
+    } else if (name == "k40" || name == "tesla_k40") {
+      specs.push_back(gpu::GpuSpec::tesla_k40());
+    } else {
+      return {};
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return specs;
 }
 
 }  // namespace
@@ -59,7 +98,8 @@ int main(int argc, char** argv) {
       {"list", "help", "workload", "runtime", "tasks", "threads", "seed",
        "input", "blocks", "irregular", "dynamic-threads", "no-shmem",
        "compute", "no-copies", "batch", "rows", "two-copy", "trace",
-       "trace-format", "metrics", "metrics-period", "profile"});
+       "trace-format", "metrics", "metrics-period", "profile", "gpus",
+       "policy", "arrival", "slo-us", "queue-limit"});
   if (!bad.empty()) {
     std::fprintf(stderr, "error: unknown argument '%s' (try --help)\n",
                  bad.c_str());
@@ -68,7 +108,17 @@ int main(int argc, char** argv) {
   if (flags.has("list") || flags.has("help")) return list_options();
 
   const std::string wl = flags.get("workload", "MM");
-  const std::string rt = flags.get("runtime", "Pagoda");
+  // Any cluster flag selects the Cluster runtime; --runtime=Cluster works
+  // too (with --gpus defaulting to a single Titan X).
+  const bool want_cluster =
+      flags.has("gpus") || flags.get("runtime") == "Cluster";
+  const std::string rt =
+      want_cluster ? "Cluster" : flags.get("runtime", "Pagoda");
+  if (want_cluster && !flags.get("runtime").empty() &&
+      flags.get("runtime") != "Cluster") {
+    std::fprintf(stderr, "error: --gpus only applies to --runtime=Cluster\n");
+    return 1;
+  }
   const bool pagoda_rt = rt == "Pagoda" || rt == "PagodaBatching";
 
   workloads::WorkloadConfig wcfg;
@@ -90,6 +140,44 @@ int main(int argc, char** argv) {
   rcfg.pagoda.rows_per_column =
       static_cast<int>(flags.get_int("rows", 32));
   rcfg.pagoda.two_copy_spawn = flags.has("two-copy");
+
+  if (want_cluster) {
+    rcfg.cluster.specs = parse_gpus(flags.get("gpus", "1"));
+    if (rcfg.cluster.specs.empty()) {
+      std::fprintf(stderr,
+                   "error: bad --gpus value '%s' (want a count or a comma "
+                   "list of titanx/k40)\n",
+                   flags.get("gpus").c_str());
+      return 1;
+    }
+    rcfg.cluster.policy = flags.get("policy", "round-robin");
+    if (cluster::make_policy(rcfg.cluster.policy) == nullptr) {
+      std::fprintf(stderr, "error: unknown --policy '%s'; valid policies:",
+                   rcfg.cluster.policy.c_str());
+      for (const std::string_view p : cluster::all_policy_names()) {
+        std::fprintf(stderr, " %s", std::string(p).c_str());
+      }
+      std::fprintf(stderr, "\n");
+      return 1;
+    }
+    rcfg.cluster.arrival = flags.get("arrival", "closed");
+    if (!cluster::ArrivalConfig::parse(rcfg.cluster.arrival).has_value()) {
+      std::fprintf(stderr,
+                   "error: bad --arrival '%s'; valid forms: %s\n",
+                   rcfg.cluster.arrival.c_str(),
+                   std::string(cluster::ArrivalConfig::choices()).c_str());
+      return 1;
+    }
+    const double slo_us = flags.get_double("slo-us", 0.0);
+    if (slo_us < 0.0) {
+      std::fprintf(stderr, "error: --slo-us must be >= 0\n");
+      return 1;
+    }
+    rcfg.cluster.slo = sim::microseconds(slo_us);
+    rcfg.cluster.queue_limit =
+        static_cast<int>(flags.get_int("queue-limit", 0));
+    rcfg.cluster.seed = wcfg.seed;
+  }
 
   if (!harness::runtime_supports(wl, rt, wcfg)) {
     std::fprintf(stderr, "error: %s cannot run %s as configured\n",
@@ -132,6 +220,11 @@ int main(int argc, char** argv) {
               wcfg.irregular_sizes ? ", irregular sizes" : "",
               rcfg.include_data_copies ? "" : ", no data copies");
   std::printf("runtime    %s\n", rt.c_str());
+  if (want_cluster) {
+    std::printf("cluster    %zu GPU(s), policy %s, arrival %s\n",
+                rcfg.cluster.specs.size(), rcfg.cluster.policy.c_str(),
+                rcfg.cluster.arrival.c_str());
+  }
   std::printf("mode       %s\n",
               rcfg.mode == gpu::ExecMode::Compute ? "compute (verified)"
                                                   : "model");
