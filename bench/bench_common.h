@@ -12,6 +12,7 @@
 #include <iostream>
 #include <string>
 
+#include "common/alloc_tuning.h"
 #include "harness/calibration.h"
 #include "harness/experiment.h"
 #include "harness/flags.h"
@@ -35,6 +36,7 @@ struct BenchArgs {
         mode(flags.has("compute") ? gpu::ExecMode::Compute
                                   : gpu::ExecMode::Model) {
     if (full) tasks = 32768;
+    common::tune_allocator_for_batch_runs();
   }
 
   workloads::WorkloadConfig wcfg() const {

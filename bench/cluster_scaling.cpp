@@ -21,6 +21,7 @@
 #include "cluster/traffic.h"
 #include "common/check.h"
 #include "common/stats.h"
+#include "engine/session.h"
 #include "harness/flags.h"
 #include "obs/metrics.h"
 #include "sim/process.h"
@@ -53,7 +54,14 @@ struct Outcome {
 };
 
 struct RunBox {
-  sim::Simulation sim;
+  static engine::SessionConfig clock_only() {
+    engine::SessionConfig c;
+    c.device = false;  // GpuNodes bring up their own device sub-sessions
+    return c;
+  }
+
+  engine::Session session{clock_only()};
+  sim::Simulation& sim = session.sim();
   cluster::Cluster fleet;
   cluster::Dispatcher disp;
   sim::Time end_time = 0;

@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
+#include "engine/session.h"
 #include "pagoda/shmem_allocator.h"
 #include "pagoda/task_table.h"
 #include "sim/ps_resource.h"
@@ -46,9 +47,16 @@ void BM_BuddyChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_BuddyChurn);
 
+engine::SessionConfig clock_only() {
+  engine::SessionConfig c;
+  c.device = false;
+  return c;
+}
+
 void BM_EventQueueThroughput(benchmark::State& state) {
   for (auto _ : state) {
-    sim::Simulation sim;
+    engine::Session session(clock_only());
+    sim::Simulation& sim = session.sim();
     int fired = 0;
     for (int i = 0; i < 1000; ++i) {
       sim.after(i % 97, [&fired] { ++fired; });
@@ -62,7 +70,8 @@ BENCHMARK(BM_EventQueueThroughput);
 
 void BM_PsResourceChurn(benchmark::State& state) {
   for (auto _ : state) {
-    sim::Simulation sim;
+    engine::Session session(clock_only());
+    sim::Simulation& sim = session.sim();
     sim::PsResource res(sim, 4.0, 1.0);
     int done = 0;
     for (int i = 0; i < 256; ++i) {

@@ -13,8 +13,7 @@
 
 #include "common/rng.h"
 #include "common/stats.h"
-#include "gpu/device.h"
-#include "pagoda/runtime.h"
+#include "engine/session.h"
 #include "sim/process.h"
 
 using namespace pagoda;
@@ -146,12 +145,11 @@ int main(int argc, char** argv) {
               "(blur task -> compress task per frame)\n\n",
               cameras, frames);
 
-  sim::Simulation sim;
-  gpu::Device dev(sim, gpu::GpuSpec::titan_x());
-  runtime::PagodaConfig cfg;
-  cfg.mode = gpu::ExecMode::Compute;
-  Runtime rt(dev, host::HostCosts{}, cfg);
-  rt.start();
+  engine::SessionConfig cfg;
+  cfg.pagoda_runtime = true;
+  cfg.pagoda.mode = gpu::ExecMode::Compute;
+  engine::Session session(cfg);
+  session.start();
 
   std::vector<CameraState> cams(static_cast<std::size_t>(cameras));
   for (auto& c : cams) {
@@ -160,11 +158,12 @@ int main(int argc, char** argv) {
     c.energy.assign((kSide / 8) * (kSide / 8), 0.0f);
   }
   for (int c = 0; c < cameras; ++c) {
-    sim.spawn(camera(sim, rt, cams[static_cast<std::size_t>(c)], frames,
-                     1000 + static_cast<std::uint64_t>(c)));
+    session.sim().spawn(camera(session.sim(), session.rt(),
+                               cams[static_cast<std::size_t>(c)], frames,
+                               1000 + static_cast<std::uint64_t>(c)));
   }
-  sim.run_until(sim::seconds(30.0));
-  rt.shutdown();
+  session.run_until(sim::seconds(30.0));
+  session.shutdown();
 
   bool ok = true;
   std::vector<double> all_latencies;

@@ -25,6 +25,7 @@
 #include "cluster/placement.h"
 #include "cluster/traffic.h"
 #include "common/stats.h"
+#include "engine/session.h"
 #include "sim/process.h"
 
 using namespace pagoda;
@@ -64,7 +65,12 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  sim::Simulation sim;
+  // Clock-only Session: the fleet's GpuNodes each bring up their own device
+  // sub-session on this shared Simulation.
+  engine::SessionConfig scfg;
+  scfg.device = false;
+  engine::Session session(scfg);
+  sim::Simulation& sim = session.sim();
   cluster::NodeConfig titan;
   titan.pcie.bandwidth_bytes_per_sec = 12.0e9;
   titan.pcie.latency = sim::microseconds(2.0);

@@ -12,8 +12,7 @@
 #include <vector>
 
 #include "common/rng.h"
-#include "gpu/device.h"
-#include "pagoda/runtime.h"
+#include "engine/session.h"
 #include "sim/process.h"
 #include "workloads/des_core.h"
 
@@ -153,12 +152,13 @@ int main(int argc, char** argv) {
               "one GPU\n\n",
               per_app);
 
-  sim::Simulation sim;
-  gpu::Device dev(sim, gpu::GpuSpec::titan_x());
-  runtime::PagodaConfig cfg;
-  cfg.mode = gpu::ExecMode::Compute;
-  Runtime rt(dev, host::HostCosts{}, cfg);
-  rt.start();
+  engine::SessionConfig cfg;
+  cfg.pagoda_runtime = true;
+  cfg.pagoda.mode = gpu::ExecMode::Compute;
+  engine::Session session(cfg);
+  session.start();
+  sim::Simulation& sim = session.sim();
+  Runtime& rt = session.rt();
 
   // Shared data pools (one slab per app; tasks index into them).
   SplitMix64 rng(99);
@@ -264,7 +264,7 @@ int main(int argc, char** argv) {
               static_cast<long long>(rt.master_kernel().tasks_scheduled()),
               static_cast<long long>(rt.master_kernel().warps_dispatched()),
               static_cast<long long>(rt.master_kernel().shmem_blocks_swept()));
-  rt.shutdown();
+  session.shutdown();
   std::printf("multiprogram check: %s\n", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;
 }

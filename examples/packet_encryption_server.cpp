@@ -13,8 +13,7 @@
 
 #include "common/rng.h"
 #include "common/stats.h"
-#include "gpu/device.h"
-#include "pagoda/runtime.h"
+#include "engine/session.h"
 #include "sim/process.h"
 #include "workloads/des_core.h"
 
@@ -89,12 +88,13 @@ int main(int argc, char** argv) {
               "~%.1f Gbps offered load, Triple-DES (EDE3)\n\n",
               num_packets, load_gbps);
 
-  sim::Simulation sim;
-  gpu::Device dev(sim, gpu::GpuSpec::titan_x());
-  runtime::PagodaConfig cfg;
-  cfg.mode = gpu::ExecMode::Compute;
-  Runtime rt(dev, host::HostCosts{}, cfg);
-  rt.start();
+  engine::SessionConfig cfg;
+  cfg.pagoda_runtime = true;
+  cfg.pagoda.mode = gpu::ExecMode::Compute;
+  engine::Session session(cfg);
+  session.start();
+  sim::Simulation& sim = session.sim();
+  Runtime& rt = session.rt();
 
   const auto key = workloads::triple_des_key(0x0123456789ABCDEFULL,
                                              0x23456789ABCDEF01ULL,
@@ -109,8 +109,8 @@ int main(int argc, char** argv) {
   }
 
   sim.spawn(router(sim, rt, packets, key, load_gbps));
-  sim.run_until(sim::seconds(60.0));
-  rt.shutdown();
+  session.run_until(sim::seconds(60.0));
+  session.shutdown();
 
   // Verify and report latencies.
   bool ok = true;

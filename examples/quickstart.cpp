@@ -10,8 +10,7 @@
 #include <cstdlib>
 #include <vector>
 
-#include "gpu/device.h"
-#include "pagoda/runtime.h"
+#include "engine/session.h"
 #include "sim/process.h"
 
 using namespace pagoda;
@@ -143,17 +142,18 @@ int main(int argc, char** argv) {
               "shared-memory reduction) on the simulated Titan X\n\n",
               num_tasks);
 
-  sim::Simulation sim;
-  gpu::Device dev(sim, gpu::GpuSpec::titan_x());
-  runtime::PagodaConfig cfg;
-  cfg.mode = gpu::ExecMode::Compute;  // real math, verified below
-  Runtime rt(dev, host::HostCosts{}, cfg);
-  rt.start();
+  engine::SessionConfig cfg;
+  cfg.pagoda_runtime = true;
+  cfg.pagoda.mode = gpu::ExecMode::Compute;  // real math, verified below
+  engine::Session session(cfg);
+  session.start();
 
   bool ok = false;
-  sim.spawn(host_main(sim, rt, num_tasks, /*n_per_task=*/512, ok));
-  sim.run_until(sim::seconds(10.0));
-  rt.shutdown();
+  session.sim().spawn(
+      host_main(session.sim(), session.rt(), num_tasks, /*n_per_task=*/512,
+                ok));
+  session.run_until(sim::seconds(10.0));
+  session.shutdown();
 
   std::printf("\nverification: %s\n", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;

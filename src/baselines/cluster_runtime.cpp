@@ -17,6 +17,8 @@
 #include "cluster/placement.h"
 #include "cluster/traffic.h"
 #include "common/check.h"
+#include "engine/result_builder.h"
+#include "engine/session.h"
 #include "obs/collector.h"
 #include "sim/process.h"
 
@@ -32,7 +34,8 @@ std::string node_prefix(int index) {
 }
 
 struct ClusterRunState {
-  sim::Simulation sim;
+  engine::Session session;  // clock-only; each GpuNode builds a sub-session
+  sim::Simulation& sim = session.sim();
   cluster::Cluster fleet;
   cluster::Dispatcher dispatcher;
   bool done = false;
@@ -40,8 +43,15 @@ struct ClusterRunState {
 
   ClusterRunState(const RunConfig& cfg,
                   std::unique_ptr<cluster::PlacementPolicy> policy)
-      : fleet(sim, node_configs(cfg)),
+      : session(clock_only()),
+        fleet(sim, node_configs(cfg)),
         dispatcher(fleet, std::move(policy), dispatcher_config(cfg)) {}
+
+  static engine::SessionConfig clock_only() {
+    engine::SessionConfig c;
+    c.device = false;
+    return c;
+  }
 
   static std::vector<cluster::NodeConfig> node_configs(const RunConfig& cfg) {
     std::vector<gpu::GpuSpec> specs = cfg.cluster.specs;
@@ -116,9 +126,8 @@ class ClusterDriver final : public TaskRuntime {
     ClusterRunState st(cfg, std::move(policy));
     if (cfg.collector != nullptr) {
       for (int i = 0; i < st.fleet.size(); ++i) {
-        cluster::GpuNode& node = st.fleet.node(i);
-        cfg.collector->attach_device(node.device(), node_prefix(i));
-        cfg.collector->attach_pagoda(node.rt(), node_prefix(i));
+        st.fleet.node(i).session().attach_collector(*cfg.collector,
+                                                    node_prefix(i));
       }
       st.dispatcher.install_sampler(*cfg.collector);
     }
@@ -127,35 +136,28 @@ class ClusterDriver final : public TaskRuntime {
     st.sim.spawn(drainer(st));
     st.sim.run_until(cfg.time_cap);
 
-    RunResult res;
-    res.completed = st.done;
-    res.elapsed = st.end_time;
-    res.tasks = st.dispatcher.stats().completed;
+    engine::ResultBuilder marks(0);  // the dispatcher supplies everything
+    marks.complete(st.done, st.end_time);
+    marks.set_tasks(st.dispatcher.stats().completed);
     double warp_capacity = 0.0;
     for (int i = 0; i < st.fleet.size(); ++i) {
       gpu::Device& dev = st.fleet.node(i).device();
-      res.h2d_wire_busy +=
-          dev.pcie().link(pcie::Direction::HostToDevice).busy_time();
-      res.d2h_wire_busy +=
-          dev.pcie().link(pcie::Direction::DeviceToHost).busy_time();
+      marks.wires_from(dev);
       warp_capacity += static_cast<double>(dev.spec().max_resident_warps());
     }
-    const double elapsed_s = sim::to_seconds(st.end_time);
-    if (elapsed_s > 0.0) {
-      res.occupancy = st.fleet.executor_busy_warp_seconds() /
-                      (elapsed_s * warp_capacity);
-    }
+    marks.occupancy_integral(st.fleet.executor_busy_warp_seconds(),
+                             warp_capacity);
     if (cfg.collect_latencies) {
-      res.task_latency_us.assign(st.dispatcher.latencies_us().begin(),
-                                 st.dispatcher.latencies_us().end());
+      marks.set_latencies({st.dispatcher.latencies_us().begin(),
+                           st.dispatcher.latencies_us().end()});
+    }
+    for (const cluster::Dispatcher::Span& s : st.dispatcher.spans()) {
+      marks.add_span(s.arrival, s.done);
     }
     if (cfg.collector != nullptr) {
-      for (const cluster::Dispatcher::Span& s : st.dispatcher.spans()) {
-        cfg.collector->task_span(s.arrival, s.done);
-      }
       st.dispatcher.export_metrics(cfg.collector->metrics());
-      cfg.collector->finish(st.end_time, res.tasks);
     }
+    RunResult res = marks.assemble(cfg.collect_latencies, cfg.collector);
     st.fleet.shutdown();
     return res;
   }

@@ -6,9 +6,10 @@
 #include <vector>
 
 #include "baselines/factories.h"
+#include "engine/result_builder.h"
+#include "engine/stage_pipeline.h"
 #include "gpu/kernel.h"
 #include "host/host_api.h"
-#include "obs/collector.h"
 #include "sim/process.h"
 #include "sim/sync.h"
 
@@ -60,6 +61,58 @@ void run_task_functionally(const runtime::TaskParams& p) {
   }
 }
 
+struct CpuState {
+  engine::Session session;
+  engine::ResultBuilder marks;  // submit -> completion times
+  bool done = false;
+  sim::Time end_time = 0;
+
+  CpuState(const RunConfig& cfg, int cores, int num_tasks)
+      : session([&] {
+          engine::SessionConfig sc;
+          sc.device = false;
+          sc.cpu_cores = cores;
+          sc.cpu_core_ops_per_sec = kCoreOpsPerSec;
+          sc.host = cfg.host;
+          sc.collector = cfg.collector;
+          return sc;
+        }()),
+        marks(num_tasks) {}
+
+  sim::Simulation& sim() { return session.sim(); }
+};
+
+/// The pool dispatch loop runs inline on the controller (a pthread pool has
+/// no per-wave spawner threads), so it keeps its shape rather than going
+/// through StagePipeline::fan_out.
+sim::Process controller(CpuState& st, const RunConfig& cfg,
+                        std::span<const workloads::TaskSpec> tasks,
+                        int waves) {
+  for (int wave = 0; wave < waves; ++wave) {
+    const std::vector<int> members =
+        engine::StagePipeline::wave_members(tasks, wave);
+    if (members.empty()) continue;
+    int remaining = static_cast<int>(members.size());
+    sim::Trigger wave_done(st.sim());
+    int* left = &remaining;
+    for (const int i : members) {
+      st.marks.mark_start(i, st.sim().now());
+      if (cfg.mode == gpu::ExecMode::Compute) {
+        run_task_functionally(tasks[static_cast<std::size_t>(i)].params);
+      }
+      st.session.cpu().run_async(
+          kDispatchOps + tasks[static_cast<std::size_t>(i)].cpu_ops,
+          [&st, i, left, &wave_done] {
+            st.marks.mark_end(i, st.sim().now());
+            if (--*left == 0) wave_done.fire();
+          });
+    }
+    co_await wave_done.wait();
+  }
+  st.end_time = st.sim().now();
+  st.done = true;
+}
+
 class CpuRuntime final : public TaskRuntime {
  public:
   explicit CpuRuntime(int cores) : cores_(cores) {}
@@ -69,74 +122,13 @@ class CpuRuntime final : public TaskRuntime {
   }
 
   RunResult run(workloads::Workload& w, const RunConfig& cfg) override {
-    sim::Simulation sim;
-    host::CpuCluster cpu(sim, cores_, kCoreOpsPerSec);
-    if (cfg.collector != nullptr) cfg.collector->attach_cpu(sim, cpu);
     const std::span<const workloads::TaskSpec> tasks = w.tasks();
-    const int waves = max_wave(w) + 1;
+    CpuState st(cfg, cores_, static_cast<int>(tasks.size()));
+    st.sim().spawn(controller(st, cfg, tasks, max_wave(w) + 1));
+    st.session.run_until(cfg.time_cap);
 
-    std::vector<sim::Time> submit(tasks.size(), 0);
-    std::vector<sim::Time> complete(tasks.size(), 0);
-    bool done = false;
-    sim::Time end_time = 0;
-
-    struct Driver {
-      static sim::Process run(sim::Simulation& sim, host::CpuCluster& cpu,
-                              std::span<const workloads::TaskSpec> tasks,
-                              int waves, gpu::ExecMode mode,
-                              std::vector<sim::Time>& submit,
-                              std::vector<sim::Time>& complete, bool& done,
-                              sim::Time& end_time) {
-        for (int wave = 0; wave < waves; ++wave) {
-          int remaining = 0;
-          sim::Trigger wave_done(sim);
-          for (std::size_t i = 0; i < tasks.size(); ++i) {
-            if (tasks[i].wave != wave) continue;
-            ++remaining;
-          }
-          if (remaining == 0) continue;
-          int* left = &remaining;
-          for (std::size_t i = 0; i < tasks.size(); ++i) {
-            if (tasks[i].wave != wave) continue;
-            submit[i] = sim.now();
-            if (mode == gpu::ExecMode::Compute) {
-              run_task_functionally(tasks[i].params);
-            }
-            cpu.run_async(kDispatchOps + tasks[i].cpu_ops,
-                          [&sim, &complete, i, left, &wave_done] {
-                            complete[i] = sim.now();
-                            if (--*left == 0) wave_done.fire();
-                          });
-          }
-          co_await wave_done.wait();
-        }
-        end_time = sim.now();
-        done = true;
-      }
-    };
-
-    sim.spawn(Driver::run(sim, cpu, tasks, waves, cfg.mode, submit, complete,
-                          done, end_time));
-    sim.run_until(cfg.time_cap);
-
-    RunResult res;
-    res.completed = done;
-    res.elapsed = end_time;
-    res.tasks = static_cast<std::int64_t>(tasks.size());
-    if (cfg.collect_latencies) {
-      for (std::size_t i = 0; i < tasks.size(); ++i) {
-        res.task_latency_us.push_back(
-            sim::to_microseconds(complete[i] - submit[i]));
-      }
-    }
-    if (cfg.collector != nullptr) {
-      for (std::size_t i = 0; i < tasks.size(); ++i) {
-        cfg.collector->task_span(submit[i], complete[i]);
-      }
-      cfg.collector->finish(end_time,
-                            static_cast<std::int64_t>(tasks.size()));
-    }
-    return res;
+    st.marks.complete(st.done, st.end_time);
+    return st.marks.assemble(cfg.collect_latencies, cfg.collector);
   }
 
  private:

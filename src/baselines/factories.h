@@ -4,8 +4,14 @@
 #include <memory>
 
 #include "baselines/task_runtime.h"
+#include "engine/session.h"
 
 namespace pagoda::baselines {
+
+/// Session config for a device-only run (HyperQ, GeMTC, Fusion).
+engine::SessionConfig device_session(const RunConfig& cfg);
+/// As above plus the Pagoda runtime (PagodaConfig::mode <- RunConfig::mode).
+engine::SessionConfig pagoda_session(const RunConfig& cfg);
 
 std::unique_ptr<TaskRuntime> make_pagoda_runtime(bool batching);
 std::unique_ptr<TaskRuntime> make_hyperq_runtime();

@@ -11,9 +11,9 @@
 
 #include "baselines/factories.h"
 #include "common/check.h"
-#include "gpu/device.h"
+#include "engine/result_builder.h"
+#include "engine/stage_pipeline.h"
 #include "gpu/stream.h"
-#include "obs/collector.h"
 #include "sim/process.h"
 #include "sim/sync.h"
 
@@ -59,9 +59,8 @@ gpu::KernelCoro fused_kernel(gpu::WarpCtx& ctx) {
 }
 
 struct FusionState {
-  sim::Simulation sim;
-  gpu::Device dev;
-  gpu::Stream stream;
+  engine::Session session;
+  engine::StagePipeline pipe;
   std::vector<runtime::TaskParams> fused_tasks;
   bool done = false;
   sim::Time end_time = 0;
@@ -69,7 +68,10 @@ struct FusionState {
   sim::Time kernel_complete = 0;
 
   explicit FusionState(const RunConfig& cfg)
-      : dev(sim, cfg.spec, cfg.pcie), stream(dev) {}
+      : session(device_session(cfg)),
+        pipe(session, {.h2d_streams = 1, .d2h_streams = 0}) {}
+
+  sim::Simulation& sim() { return session.sim(); }
 };
 
 sim::Process controller(FusionState& st, const RunConfig& cfg,
@@ -88,16 +90,12 @@ sim::Process controller(FusionState& st, const RunConfig& cfg,
 
   if (cfg.include_data_copies && in_bytes > 0) {
     // All inputs must be resident before the monolithic kernel launches.
-    co_await st.sim.delay(cfg.host.memcpy_setup);
-    auto trig = std::make_shared<sim::Trigger>(st.sim);
-    st.stream.memcpy_async(pcie::Direction::HostToDevice, nullptr, nullptr,
-                           static_cast<std::size_t>(in_bytes),
-                           [trig] { trig->fire(); });
-    co_await trig->wait();
+    co_await st.pipe.copy_sync(st.pipe.h2d_stream(0),
+                               pcie::Direction::HostToDevice, in_bytes);
   }
 
-  co_await st.sim.delay(cfg.host.kernel_launch);
-  st.kernel_issue = st.sim.now();
+  co_await st.pipe.launch_cost();
+  st.kernel_issue = st.sim().now();
 
   gpu::KernelLaunchParams p;
   p.fn = fused_kernel;
@@ -108,19 +106,16 @@ sim::Process controller(FusionState& st, const RunConfig& cfg,
   p.regs_per_thread = max_regs;
   p.shared_mem_bytes = max_shmem;
   p.mode = cfg.mode;
-  gpu::KernelExecutionPtr exec = st.dev.dispatcher().launch(std::move(p));
+  gpu::KernelExecutionPtr exec =
+      st.session.device().dispatcher().launch(std::move(p));
   co_await exec->done.wait();
-  st.kernel_complete = st.sim.now();
+  st.kernel_complete = st.sim().now();
 
   if (cfg.include_data_copies && out_bytes > 0) {
-    co_await st.sim.delay(cfg.host.memcpy_setup);
-    auto trig = std::make_shared<sim::Trigger>(st.sim);
-    st.stream.memcpy_async(pcie::Direction::DeviceToHost, nullptr, nullptr,
-                           static_cast<std::size_t>(out_bytes),
-                           [trig] { trig->fire(); });
-    co_await trig->wait();
+    co_await st.pipe.copy_sync(st.pipe.h2d_stream(0),
+                               pcie::Direction::DeviceToHost, out_bytes);
   }
-  st.end_time = st.sim.now();
+  st.end_time = st.sim().now();
   st.done = true;
 }
 
@@ -136,33 +131,19 @@ class FusionRuntime final : public TaskRuntime {
   RunResult run(workloads::Workload& w, const RunConfig& cfg) override {
     PAGODA_CHECK_MSG(supports(w), "static fusion cannot run this workload");
     FusionState st(cfg);
-    if (cfg.collector != nullptr) cfg.collector->attach_device(st.dev);
     st.fused_tasks.reserve(w.tasks().size());
     for (const TaskSpec& t : w.tasks()) st.fused_tasks.push_back(t.params);
-    st.sim.spawn(controller(st, cfg, w));
-    st.sim.run_until(cfg.time_cap);
+    st.sim().spawn(controller(st, cfg, w));
+    st.session.run_until(cfg.time_cap);
 
-    RunResult res;
-    res.completed = st.done;
-    res.elapsed = st.end_time;
-    res.tasks = static_cast<std::int64_t>(w.tasks().size());
-    res.occupancy = st.dev.achieved_occupancy();
-    res.h2d_wire_busy =
-        st.dev.pcie().link(pcie::Direction::HostToDevice).busy_time();
-    res.d2h_wire_busy =
-        st.dev.pcie().link(pcie::Direction::DeviceToHost).busy_time();
-    if (cfg.collect_latencies) {
-      // Every task's result is only available when the whole fused kernel
-      // retires — the Fig 10 latency model for fused/batched execution.
-      const double lat =
-          sim::to_microseconds(st.kernel_complete - st.kernel_issue);
-      res.task_latency_us.assign(w.tasks().size(), lat);
-    }
-    if (cfg.collector != nullptr) {
-      cfg.collector->task_span(st.kernel_issue, st.kernel_complete);
-      cfg.collector->finish(st.end_time, res.tasks);
-    }
-    return res;
+    engine::ResultBuilder marks(static_cast<int>(w.tasks().size()));
+    marks.complete(st.done, st.end_time);
+    marks.occupancy_device(st.session.device());
+    marks.wires_from(st.session.device());
+    // Every task's result is only available when the whole fused kernel
+    // retires — the Fig 10 latency model for fused/batched execution.
+    marks.uniform_interval(st.kernel_issue, st.kernel_complete);
+    return marks.assemble(cfg.collect_latencies, cfg.collector);
   }
 };
 

@@ -17,11 +17,11 @@
 
 #include "baselines/factories.h"
 #include "common/check.h"
+#include "engine/result_builder.h"
+#include "engine/stage_pipeline.h"
 #include "gpu/barrier.h"
-#include "gpu/device.h"
 #include "gpu/occupancy.h"
 #include "gpu/stream.h"
-#include "obs/collector.h"
 #include "sim/process.h"
 #include "sim/sync.h"
 
@@ -38,14 +38,12 @@ struct Worker {
 };
 
 struct GemtcState {
-  sim::Simulation sim;
-  gpu::Device dev;
-  gpu::Stream copy_stream;
+  engine::Session session;
+  engine::StagePipeline pipe;
+  engine::ResultBuilder marks;  // batch issue -> batch finish times
   std::vector<Worker> workers;
   std::deque<int> queue;  // task indices of the current batch
   sim::Semaphore queue_lock;
-  std::vector<sim::Time> batch_issue_time;   // per task
-  std::vector<sim::Time> complete_time;      // per task (= batch end)
   int batch_tasks_left = 0;
   sim::Trigger* batch_done = nullptr;
   bool done = false;
@@ -56,16 +54,17 @@ struct GemtcState {
   sim::Time busy_touch = 0;
 
   GemtcState(const RunConfig& cfg, int num_tasks)
-      : dev(sim, cfg.spec, cfg.pcie),
-        copy_stream(dev),
-        queue_lock(sim, 1),
-        batch_issue_time(static_cast<std::size_t>(num_tasks), 0),
-        complete_time(static_cast<std::size_t>(num_tasks), 0) {}
+      : session(device_session(cfg)),
+        pipe(session, {.h2d_streams = 1, .d2h_streams = 0}),
+        marks(num_tasks),
+        queue_lock(session.sim(), 1) {}
+
+  sim::Simulation& sim() { return session.sim(); }
 
   void touch_busy(int delta) {
     busy_integral += static_cast<double>(busy_warps) *
-                     sim::to_seconds(sim.now() - busy_touch);
-    busy_touch = sim.now();
+                     sim::to_seconds(sim().now() - busy_touch);
+    busy_touch = sim().now();
     busy_warps += delta;
   }
 };
@@ -89,7 +88,7 @@ sim::Process task_warp(GemtcState& st, const RunConfig& cfg, gpu::Smm& smm,
   while (true) {
     const gpu::SegmentResult seg = gpu::run_segment(coro, ctx);
     if (seg.stall_cycles > 0.0) {
-      co_await st.sim.delay(static_cast<sim::Duration>(
+      co_await st.sim().delay(static_cast<sim::Duration>(
           seg.stall_cycles * 1e12 / cfg.spec.clock_hz));
     }
     if (seg.cycles > 0.0) co_await smm.execute(seg.cycles);
@@ -113,18 +112,18 @@ sim::Process worker_proc(GemtcState& st, const RunConfig& cfg,
     st.queue.pop_front();
     // Serialized atomic pull on the single queue (the contention Pagoda's
     // multi-column TaskTable avoids).
-    co_await st.sim.delay(kQueuePullCost);
+    co_await st.sim().delay(kQueuePullCost);
     st.queue_lock.release();
 
     const TaskSpec& t = tasks[static_cast<std::size_t>(idx)];
     const runtime::TaskParams& p = t.params;
     const int warps = p.warps_per_block();
-    gpu::BlockBarrier barrier(st.sim, warps);
-    sim::Trigger block_done(st.sim);
+    gpu::BlockBarrier barrier(st.sim(), warps);
+    sim::Trigger block_done(st.sim());
     int warps_left = warps;
     for (int wv = 0; wv < warps; ++wv) {
-      st.sim.spawn(task_warp(st, cfg, smm, p, wv, {}, barrier, &warps_left,
-                             &block_done));
+      st.sim().spawn(task_warp(st, cfg, smm, p, wv, {}, barrier, &warps_left,
+                               &block_done));
     }
     co_await block_done.wait();
     if (--st.batch_tasks_left == 0) st.batch_done->fire();
@@ -148,47 +147,37 @@ sim::Process controller(GemtcState& st, const RunConfig& cfg,
                        ? tasks[static_cast<std::size_t>(i)].d2h_bytes
                        : 0;
     }
-    co_await st.sim.delay(cfg.host.memcpy_setup);
-    {
-      auto trig = std::make_shared<sim::Trigger>(st.sim);
-      st.copy_stream.memcpy_async(pcie::Direction::HostToDevice, nullptr,
-                                  nullptr, static_cast<std::size_t>(in_bytes),
-                                  [trig] { trig->fire(); });
-      co_await trig->wait();
-    }
-    co_await st.sim.delay(cfg.host.kernel_launch);  // SuperKernel launch
+    co_await st.pipe.copy_sync(st.pipe.h2d_stream(0),
+                               pcie::Direction::HostToDevice, in_bytes);
+    co_await st.pipe.launch_cost();  // SuperKernel launch
 
-    const sim::Time batch_issue = st.sim.now();
+    const sim::Time batch_issue = st.sim().now();
     for (int i = batch_start; i < batch_end; ++i) {
       st.queue.push_back(i);
-      st.batch_issue_time[static_cast<std::size_t>(i)] = batch_issue;
+      st.marks.mark_start(i, batch_issue);
     }
     st.batch_tasks_left = batch_end - batch_start;
-    sim::Trigger batch_done(st.sim);
+    sim::Trigger batch_done(st.sim());
     st.batch_done = &batch_done;
     std::vector<sim::Joinable> joins;
     joins.reserve(st.workers.size());
     for (Worker& wk : st.workers) {
-      joins.push_back(st.sim.spawn(worker_proc(st, cfg, tasks, *wk.smm)));
+      joins.push_back(st.sim().spawn(worker_proc(st, cfg, tasks, *wk.smm)));
     }
     co_await batch_done.wait();
     for (const sim::Joinable& j : joins) co_await j.join();
     st.batch_done = nullptr;
     // Batch results land together (batch semantics).
-    const sim::Time batch_finish = st.sim.now();
+    const sim::Time batch_finish = st.sim().now();
     for (int i = batch_start; i < batch_end; ++i) {
-      st.complete_time[static_cast<std::size_t>(i)] = batch_finish;
+      st.marks.mark_end(i, batch_finish);
     }
     if (out_bytes > 0) {
-      co_await st.sim.delay(cfg.host.memcpy_setup);
-      auto trig = std::make_shared<sim::Trigger>(st.sim);
-      st.copy_stream.memcpy_async(pcie::Direction::DeviceToHost, nullptr,
-                                  nullptr, static_cast<std::size_t>(out_bytes),
-                                  [trig] { trig->fire(); });
-      co_await trig->wait();
+      co_await st.pipe.copy_sync(st.pipe.h2d_stream(0),
+                                 pcie::Direction::DeviceToHost, out_bytes);
     }
   }
-  st.end_time = st.sim.now();
+  st.end_time = st.sim().now();
   st.done = true;
 }
 
@@ -217,50 +206,26 @@ class GemtcRuntime final : public TaskRuntime {
                         : w.tasks()[0].params.threads_per_block;
     const auto fp = gpu::BlockFootprint::of(tpb, 32, 0);
     const auto residency = gpu::max_residency(cfg.spec, fp);
+    gpu::Device& dev = st.session.device();
     for (int s = 0; s < cfg.spec.num_smms; ++s) {
       for (int b = 0; b < residency.blocks_per_smm; ++b) {
-        st.dev.smm(s).reserve(fp);
-        st.workers.push_back(Worker{&st.dev.smm(s)});
+        dev.smm(s).reserve(fp);
+        st.workers.push_back(Worker{&dev.smm(s)});
       }
     }
     const int batch =
         cfg.batch_size > 0 ? cfg.batch_size
                            : static_cast<int>(st.workers.size());
-    if (cfg.collector != nullptr) cfg.collector->attach_device(st.dev);
-    st.sim.spawn(controller(st, cfg, w, std::max(1, batch)));
-    st.sim.run_until(cfg.time_cap);
+    st.sim().spawn(controller(st, cfg, w, std::max(1, batch)));
+    st.session.run_until(cfg.time_cap);
 
-    RunResult res;
-    res.completed = st.done;
-    res.elapsed = st.end_time;
-    res.tasks = num_tasks;
-    res.h2d_wire_busy =
-        st.dev.pcie().link(pcie::Direction::HostToDevice).busy_time();
-    res.d2h_wire_busy =
-        st.dev.pcie().link(pcie::Direction::DeviceToHost).busy_time();
+    st.marks.complete(st.done, st.end_time);
+    st.marks.wires_from(dev);
     st.touch_busy(0);
-    const double elapsed_s = sim::to_seconds(st.end_time);
-    if (elapsed_s > 0) {
-      res.occupancy =
-          st.busy_integral /
-          (elapsed_s * static_cast<double>(cfg.spec.max_resident_warps()));
-    }
-    if (cfg.collect_latencies) {
-      for (int i = 0; i < num_tasks; ++i) {
-        res.task_latency_us.push_back(sim::to_microseconds(
-            st.complete_time[static_cast<std::size_t>(i)] -
-            st.batch_issue_time[static_cast<std::size_t>(i)]));
-      }
-    }
-    if (cfg.collector != nullptr) {
-      for (int i = 0; i < num_tasks; ++i) {
-        cfg.collector->task_span(
-            st.batch_issue_time[static_cast<std::size_t>(i)],
-            st.complete_time[static_cast<std::size_t>(i)]);
-      }
-      cfg.collector->finish(st.end_time, num_tasks);
-    }
-    return res;
+    st.marks.occupancy_integral(
+        st.busy_integral,
+        static_cast<double>(cfg.spec.max_resident_warps()));
+    return st.marks.assemble(cfg.collect_latencies, cfg.collector);
   }
 };
 

@@ -6,14 +6,12 @@
 // Per task, on its stream: H2D input copy, kernel, D2H output copy. The host
 // threads pay the driver costs (memcpy setup, kernel launch) for every
 // enqueue, which is itself a first-order cost at 32K tasks.
-#include <deque>
 #include <memory>
-#include <vector>
 
 #include "baselines/factories.h"
-#include "gpu/device.h"
+#include "engine/result_builder.h"
+#include "engine/stage_pipeline.h"
 #include "gpu/stream.h"
-#include "obs/collector.h"
 #include "sim/process.h"
 #include "sim/sync.h"
 
@@ -25,24 +23,26 @@ using workloads::TaskSpec;
 constexpr int kStreams = 32;
 
 struct HqState {
-  sim::Simulation sim;
-  gpu::Device dev;
-  std::deque<gpu::Stream> streams;
+  engine::Session session;
+  engine::StagePipeline pipe;
+  engine::ResultBuilder marks;  // issue -> completion times
   /// CUDA launches serialize on the driver's per-context lock; two host
   /// threads do not double kernel-launch throughput.
   sim::Semaphore launch_lock;
-  std::vector<sim::Time> issue_time;
-  std::vector<sim::Time> complete_time;
   bool done = false;
   sim::Time end_time = 0;
 
   HqState(const RunConfig& cfg, int num_tasks)
-      : dev(sim, cfg.spec, cfg.pcie),
-        launch_lock(sim, 1),
-        issue_time(static_cast<std::size_t>(num_tasks), 0),
-        complete_time(static_cast<std::size_t>(num_tasks), 0) {
-    for (int i = 0; i < kStreams; ++i) streams.emplace_back(dev);
-  }
+      : session(device_session(cfg)),
+        // A task's input copy, kernel and output copy share one stream
+        // (d2h_streams = 0 aliases the pool).
+        pipe(session, {.h2d_streams = kStreams,
+                       .d2h_streams = 0,
+                       .spawner_threads = cfg.spawner_threads}),
+        marks(num_tasks),
+        launch_lock(session.sim(), 1) {}
+
+  sim::Simulation& sim() { return session.sim(); }
 };
 
 gpu::KernelLaunchParams to_launch(const TaskSpec& t, const RunConfig& cfg) {
@@ -63,24 +63,21 @@ sim::Process enqueuer(HqState& st, const RunConfig& cfg,
                       std::span<const int> indices) {
   for (const int idx : indices) {
     const TaskSpec& t = tasks[static_cast<std::size_t>(idx)];
-    gpu::Stream& stream = st.streams[static_cast<std::size_t>(idx % kStreams)];
+    gpu::Stream& stream = st.pipe.h2d_stream(static_cast<std::size_t>(idx));
     if (cfg.include_data_copies && t.h2d_bytes > 0) {
-      co_await st.sim.delay(cfg.host.memcpy_setup);
-      stream.memcpy_async(pcie::Direction::HostToDevice, nullptr, nullptr,
-                          static_cast<std::size_t>(t.h2d_bytes));
+      co_await st.pipe.copy_staged(stream, pcie::Direction::HostToDevice,
+                                   t.h2d_bytes);
     }
     co_await st.launch_lock.acquire();
-    co_await st.sim.delay(cfg.host.kernel_launch);
+    co_await st.pipe.launch_cost();
     st.launch_lock.release();
-    st.issue_time[static_cast<std::size_t>(idx)] = st.sim.now();
+    st.marks.mark_start(idx, st.sim().now());
     auto trig = stream.kernel_async(to_launch(t, cfg));
-    trig->call_on_fire([&st, idx] {
-      st.complete_time[static_cast<std::size_t>(idx)] = st.sim.now();
-    });
+    trig->call_on_fire(
+        [&st, idx] { st.marks.mark_end(idx, st.sim().now()); });
     if (cfg.include_data_copies && t.d2h_bytes > 0) {
-      co_await st.sim.delay(cfg.host.memcpy_setup);
-      stream.memcpy_async(pcie::Direction::DeviceToHost, nullptr, nullptr,
-                          static_cast<std::size_t>(t.d2h_bytes));
+      co_await st.pipe.copy_staged(stream, pcie::Direction::DeviceToHost,
+                                   t.d2h_bytes);
     }
   }
 }
@@ -88,29 +85,17 @@ sim::Process enqueuer(HqState& st, const RunConfig& cfg,
 sim::Process controller(HqState& st, const RunConfig& cfg,
                         workloads::Workload& w) {
   const std::span<const TaskSpec> tasks = w.tasks();
-  const int waves = max_wave(w) + 1;
-  for (int wave = 0; wave < waves; ++wave) {
-    std::vector<int> wave_tasks;
-    for (int i = 0; i < static_cast<int>(tasks.size()); ++i) {
-      if (tasks[static_cast<std::size_t>(i)].wave == wave) wave_tasks.push_back(i);
+  engine::StagePipeline::WavePlan plan;
+  plan.slice = [&st, &cfg, tasks](std::span<const int> slice) {
+    return enqueuer(st, cfg, tasks, slice);
+  };
+  plan.after_wave = [&st]() -> sim::Task<> {
+    for (int s = 0; s < kStreams; ++s) {
+      co_await st.pipe.h2d_stream(static_cast<std::size_t>(s)).synchronize();
     }
-    std::vector<sim::Joinable> joins;
-    const int nsp = cfg.spawner_threads;
-    const std::size_t per =
-        (wave_tasks.size() + static_cast<std::size_t>(nsp) - 1) /
-        static_cast<std::size_t>(nsp);
-    for (int s = 0; s < nsp; ++s) {
-      const std::size_t lo = static_cast<std::size_t>(s) * per;
-      if (lo >= wave_tasks.size()) break;
-      const std::size_t hi = std::min(wave_tasks.size(), lo + per);
-      joins.push_back(st.sim.spawn(enqueuer(
-          st, cfg, tasks,
-          std::span<const int>(wave_tasks.data() + lo, hi - lo))));
-    }
-    for (const sim::Joinable& j : joins) co_await j.join();
-    for (gpu::Stream& s : st.streams) co_await s.synchronize();
-  }
-  st.end_time = st.sim.now();
+  };
+  co_await st.pipe.run_waves(tasks, max_wave(w) + 1, plan);
+  st.end_time = st.sim().now();
   st.done = true;
 }
 
@@ -121,34 +106,13 @@ class HyperQRuntime final : public TaskRuntime {
   RunResult run(workloads::Workload& w, const RunConfig& cfg) override {
     const auto num_tasks = static_cast<int>(w.tasks().size());
     HqState st(cfg, num_tasks);
-    if (cfg.collector != nullptr) cfg.collector->attach_device(st.dev);
-    st.sim.spawn(controller(st, cfg, w));
-    st.sim.run_until(cfg.time_cap);
+    st.sim().spawn(controller(st, cfg, w));
+    st.session.run_until(cfg.time_cap);
 
-    RunResult res;
-    res.completed = st.done;
-    res.elapsed = st.end_time;
-    res.tasks = num_tasks;
-    res.h2d_wire_busy =
-        st.dev.pcie().link(pcie::Direction::HostToDevice).busy_time();
-    res.d2h_wire_busy =
-        st.dev.pcie().link(pcie::Direction::DeviceToHost).busy_time();
-    res.occupancy = st.dev.achieved_occupancy();
-    if (cfg.collect_latencies) {
-      for (int i = 0; i < num_tasks; ++i) {
-        res.task_latency_us.push_back(sim::to_microseconds(
-            st.complete_time[static_cast<std::size_t>(i)] -
-            st.issue_time[static_cast<std::size_t>(i)]));
-      }
-    }
-    if (cfg.collector != nullptr) {
-      for (int i = 0; i < num_tasks; ++i) {
-        cfg.collector->task_span(st.issue_time[static_cast<std::size_t>(i)],
-                                 st.complete_time[static_cast<std::size_t>(i)]);
-      }
-      cfg.collector->finish(st.end_time, num_tasks);
-    }
-    return res;
+    st.marks.complete(st.done, st.end_time);
+    st.marks.wires_from(st.session.device());
+    st.marks.occupancy_device(st.session.device());
+    return st.marks.assemble(cfg.collect_latencies, cfg.collector);
   }
 };
 

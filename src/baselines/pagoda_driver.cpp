@@ -7,17 +7,13 @@
 // task's input to the device (synchronously, on their own data stream) and
 // then taskSpawn it; a completion observer plays the nested wait()-then-
 // copy-output task, issuing the D2H transfer as soon as the task finishes.
-#include <deque>
 #include <memory>
 #include <unordered_map>
-#include <vector>
 
 #include "baselines/factories.h"
-#include "common/check.h"
-#include "gpu/device.h"
+#include "engine/result_builder.h"
+#include "engine/stage_pipeline.h"
 #include "gpu/stream.h"
-#include "obs/collector.h"
-#include "pagoda/runtime.h"
 #include "sim/process.h"
 #include "sim/sync.h"
 
@@ -27,14 +23,10 @@ namespace {
 using workloads::TaskSpec;
 
 struct RunState {
-  sim::Simulation sim;
-  gpu::Device dev;
-  runtime::Runtime rt;
-  std::deque<gpu::Stream> h2d_streams;  // input-copy pool (latency hiding)
-  std::deque<gpu::Stream> d2h_streams;  // output-copy pool
+  engine::Session session;
+  engine::StagePipeline pipe;
+  engine::ResultBuilder marks;  // spawn -> completion times
   std::unordered_map<runtime::TaskId, int> entry_to_idx;
-  std::vector<sim::Time> spawn_time;
-  std::vector<sim::Time> complete_time;
   int outstanding_d2h = 0;
   bool draining = false;
   sim::Trigger drained;
@@ -49,27 +41,29 @@ struct RunState {
   sim::Time end_time = 0;
 
   RunState(const RunConfig& cfg, int num_tasks)
-      : dev(sim, cfg.spec, cfg.pcie),
-        rt(dev, cfg.host,
-           [&] {
-             runtime::PagodaConfig pc = cfg.pagoda;
-             pc.mode = cfg.mode;
-             return pc;
-           }()),
-        spawn_time(static_cast<std::size_t>(num_tasks), 0),
-        complete_time(static_cast<std::size_t>(num_tasks), 0),
-        drained(sim),
-        spawns_cv(sim),
-        data_slots(sim, 8) {}
+      : session(pagoda_session(cfg)),
+        // Stream pools: the Fig 1a OpenMP task pool keeps many copies in
+        // flight, hiding per-transaction DMA latency (as HyperQ's 32 streams
+        // do).
+        pipe(session, {.h2d_streams = 8,
+                       .d2h_streams = 4,
+                       .spawner_threads = cfg.spawner_threads}),
+        marks(num_tasks),
+        drained(session.sim()),
+        spawns_cv(session.sim()),
+        data_slots(session.sim(), 8) {}
+
+  sim::Simulation& sim() { return session.sim(); }
+  runtime::Runtime& rt() { return session.rt(); }
 };
 
 /// Performs the taskSpawn for one task (invoked once its input copy has
 /// landed). Runs as its own tiny process, modelling the paper's Fig 1a
 /// OpenMP task pool where copies and spawns of different tasks overlap.
 sim::Process spawn_one(RunState& st, const TaskSpec& t, int idx) {
-  const runtime::TaskHandle h = co_await st.rt.task_spawn(t.params);
+  const runtime::TaskHandle h = co_await st.rt().task_spawn(t.params);
   st.entry_to_idx[h.id] = idx;
-  st.spawn_time[static_cast<std::size_t>(idx)] = st.sim.now();
+  st.marks.mark_start(idx, st.sim().now());
   st.pending_spawns -= 1;
   if (st.pending_spawns == 0) st.spawns_cv.notify_all();
 }
@@ -86,19 +80,15 @@ sim::Process spawner(RunState& st, const RunConfig& cfg,
       // spawn rides the copy's completion), but only ~pool-size copies are
       // ever in flight (each pool task blocks in its synchronous copy).
       co_await st.data_slots.acquire();
-      co_await st.sim.delay(cfg.host.memcpy_setup);
-      gpu::Stream& data_stream =
-          st.h2d_streams[static_cast<std::size_t>(idx) %
-                         st.h2d_streams.size()];
-      data_stream.memcpy_async(
-          pcie::Direction::HostToDevice, nullptr, nullptr,
-          static_cast<std::size_t>(t.h2d_bytes), [&st, &t, idx] {
+      co_await st.pipe.copy_staged(
+          st.pipe.h2d_stream(static_cast<std::size_t>(idx)),
+          pcie::Direction::HostToDevice, t.h2d_bytes, [&st, &t, idx] {
             st.data_slots.release();
-            st.sim.spawn(spawn_one(st, t, idx));
+            st.sim().spawn(spawn_one(st, t, idx));
           });
     } else {
-      st.sim.spawn(spawn_one(st, t, idx));
-      co_await st.sim.delay(cfg.host.task_spawn_fill);
+      st.sim().spawn(spawn_one(st, t, idx));
+      co_await st.sim().delay(cfg.host.task_spawn_fill);
     }
   }
 }
@@ -106,73 +96,47 @@ sim::Process spawner(RunState& st, const RunConfig& cfg,
 sim::Process controller(RunState& st, const RunConfig& cfg,
                         workloads::Workload& w, int batch, bool batching) {
   const std::span<const TaskSpec> tasks = w.tasks();
-  const int waves = max_wave(w) + 1;
 
   // Completion observer: record latency and issue the output copy.
-  st.rt.set_completion_observer(
+  st.rt().set_completion_observer(
       [&st, &cfg, tasks](runtime::TaskId id, sim::Time t) {
         const auto it = st.entry_to_idx.find(id);
         if (it == st.entry_to_idx.end()) return;
         const int idx = it->second;
-        st.complete_time[static_cast<std::size_t>(idx)] = t;
+        st.marks.mark_end(idx, t);
         const TaskSpec& spec = tasks[static_cast<std::size_t>(idx)];
         if (cfg.include_data_copies && spec.d2h_bytes > 0) {
           st.outstanding_d2h += 1;
-          st.d2h_streams[static_cast<std::size_t>(idx) %
-                         st.d2h_streams.size()].memcpy_async(
-              pcie::Direction::DeviceToHost, nullptr, nullptr,
-              static_cast<std::size_t>(spec.d2h_bytes), [&st] {
-                st.outstanding_d2h -= 1;
-                if (st.outstanding_d2h == 0 && st.draining) st.drained.fire();
-              });
+          st.pipe.d2h_stream(static_cast<std::size_t>(idx))
+              .memcpy_async(pcie::Direction::DeviceToHost, nullptr, nullptr,
+                            static_cast<std::size_t>(spec.d2h_bytes), [&st] {
+                              st.outstanding_d2h -= 1;
+                              if (st.outstanding_d2h == 0 && st.draining) {
+                                st.drained.fire();
+                              }
+                            });
         }
       });
 
-  // Stream pools: the Fig 1a OpenMP task pool keeps many copies in flight,
-  // hiding per-transaction DMA latency (as HyperQ's 32 streams do).
-  for (int s = 0; s < 8; ++s) st.h2d_streams.emplace_back(st.dev);
-  for (int s = 0; s < 4; ++s) st.d2h_streams.emplace_back(st.dev);
-
-  for (int wave = 0; wave < waves; ++wave) {
-    std::vector<int> wave_tasks;
-    for (int i = 0; i < static_cast<int>(tasks.size()); ++i) {
-      if (tasks[static_cast<std::size_t>(i)].wave == wave) {
-        wave_tasks.push_back(i);
-      }
-    }
-    const int chunk_size =
-        batching ? std::max(1, batch) : static_cast<int>(wave_tasks.size());
-    for (std::size_t chunk_start = 0; chunk_start < wave_tasks.size();
-         chunk_start += static_cast<std::size_t>(chunk_size)) {
-      const std::size_t chunk_end =
-          std::min(wave_tasks.size(),
-                   chunk_start + static_cast<std::size_t>(chunk_size));
-      const std::span<const int> chunk(wave_tasks.data() + chunk_start,
-                                       chunk_end - chunk_start);
-      // Split the chunk among the spawner threads.
-      std::vector<sim::Joinable> joins;
-      const int nsp = cfg.spawner_threads;
-      const std::size_t per = (chunk.size() + static_cast<std::size_t>(nsp) - 1) /
-                              static_cast<std::size_t>(nsp);
-      for (int s = 0; s < nsp; ++s) {
-        const std::size_t lo = static_cast<std::size_t>(s) * per;
-        if (lo >= chunk.size()) break;
-        const std::size_t hi = std::min(chunk.size(), lo + per);
-        joins.push_back(st.sim.spawn(
-            spawner(st, cfg, tasks, chunk.subspan(lo, hi - lo))));
-      }
-      for (const sim::Joinable& j : joins) co_await j.join();
-      while (st.pending_spawns > 0) co_await st.spawns_cv.wait();
-      if (batching) co_await st.rt.wait_all();  // batch gate (Fig 11)
-    }
+  engine::StagePipeline::WavePlan plan;
+  plan.slice = [&st, &cfg, tasks](std::span<const int> slice) {
+    return spawner(st, cfg, tasks, slice);
+  };
+  plan.chunk_size = batching ? std::max(1, batch) : 0;
+  plan.after_chunk = [&st, batching]() -> sim::Task<> {
     while (st.pending_spawns > 0) co_await st.spawns_cv.wait();
-    co_await st.rt.wait_all();  // wave gate (SLUD dependencies)
-  }
+    if (batching) co_await st.rt().wait_all();  // batch gate (Fig 11)
+  };
+  plan.after_wave = [&st]() -> sim::Task<> {
+    while (st.pending_spawns > 0) co_await st.spawns_cv.wait();
+    co_await st.rt().wait_all();  // wave gate (SLUD dependencies)
+  };
+  co_await st.pipe.run_waves(tasks, max_wave(w) + 1, plan);
 
   // Drain outstanding output copies.
   st.draining = true;
   if (st.outstanding_d2h > 0) co_await st.drained.wait();
-  st.end_time = st.sim.now();
+  st.end_time = st.sim().now();
   st.done = true;
 }
 
@@ -187,46 +151,17 @@ class PagodaDriver final : public TaskRuntime {
   RunResult run(workloads::Workload& w, const RunConfig& cfg) override {
     const auto num_tasks = static_cast<int>(w.tasks().size());
     RunState st(cfg, num_tasks);
-    if (cfg.collector != nullptr) {
-      cfg.collector->attach_device(st.dev);
-      cfg.collector->attach_pagoda(st.rt);
-    }
-    st.rt.start();
+    st.session.start();
     const int batch =
         cfg.batch_size > 0 ? cfg.batch_size : gemtc_worker_count(cfg.spec, w);
-    st.sim.spawn(controller(st, cfg, w, batch, batching_));
-    st.sim.run_until(cfg.time_cap);
+    st.sim().spawn(controller(st, cfg, w, batch, batching_));
+    st.session.run_until(cfg.time_cap);
 
-    RunResult res;
-    res.completed = st.done;
-    res.elapsed = st.end_time;
-    res.tasks = num_tasks;
-    res.h2d_wire_busy =
-        st.dev.pcie().link(pcie::Direction::HostToDevice).busy_time();
-    res.d2h_wire_busy =
-        st.dev.pcie().link(pcie::Direction::DeviceToHost).busy_time();
-    const double elapsed_s = sim::to_seconds(st.end_time);
-    if (elapsed_s > 0) {
-      res.occupancy =
-          st.rt.master_kernel().executor_busy_warp_seconds() /
-          (elapsed_s * static_cast<double>(cfg.spec.max_resident_warps()));
-    }
-    if (cfg.collect_latencies) {
-      res.task_latency_us.reserve(static_cast<std::size_t>(num_tasks));
-      for (int i = 0; i < num_tasks; ++i) {
-        res.task_latency_us.push_back(sim::to_microseconds(
-            st.complete_time[static_cast<std::size_t>(i)] -
-            st.spawn_time[static_cast<std::size_t>(i)]));
-      }
-    }
-    if (cfg.collector != nullptr) {
-      for (int i = 0; i < num_tasks; ++i) {
-        cfg.collector->task_span(st.spawn_time[static_cast<std::size_t>(i)],
-                                 st.complete_time[static_cast<std::size_t>(i)]);
-      }
-      cfg.collector->finish(st.end_time, num_tasks);
-    }
-    st.rt.shutdown();
+    st.marks.complete(st.done, st.end_time);
+    st.marks.wires_from(st.session.device());
+    st.marks.occupancy_executors(st.rt(), cfg.spec);
+    RunResult res = st.marks.assemble(cfg.collect_latencies, cfg.collector);
+    st.session.shutdown();
     return res;
   }
 

@@ -5,13 +5,33 @@
 
 namespace pagoda::baselines {
 
-int max_wave(const workloads::Workload& w) {
-  int m = 0;
-  for (const workloads::TaskSpec& t : w.tasks()) m = std::max(m, t.wave);
-  return m;
-}
+int max_wave(const workloads::Workload& w) { return w.max_wave(); }
 
 bool TaskRuntime::supports(const workloads::Workload&) const { return true; }
+
+engine::SessionConfig device_session(const RunConfig& cfg) {
+  engine::SessionConfig sc;
+  sc.spec = cfg.spec;
+  sc.pcie = cfg.pcie;
+  sc.host = cfg.host;
+  sc.collector = cfg.collector;
+  return sc;
+}
+
+engine::SessionConfig pagoda_session(const RunConfig& cfg) {
+  engine::SessionConfig sc = device_session(cfg);
+  sc.pagoda_runtime = true;
+  sc.pagoda = cfg.pagoda;
+  sc.pagoda.mode = cfg.mode;
+  return sc;
+}
+
+std::span<const std::string_view> all_runtime_names() {
+  static constexpr std::string_view kNames[] = {
+      "Sequential", "PThreads", "HyperQ",  "GeMTC",
+      "Fusion",     "Pagoda",   "PagodaBatching", "Cluster"};
+  return kNames;
+}
 
 std::unique_ptr<TaskRuntime> make_runtime(std::string_view name) {
   if (name == "Pagoda") return make_pagoda_runtime(/*batching=*/false);

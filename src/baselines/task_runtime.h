@@ -15,10 +15,12 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "engine/run_result.h"
 #include "gpu/gpu_spec.h"
 #include "host/host_api.h"
 #include "pagoda/master_kernel.h"
@@ -74,23 +76,8 @@ struct RunConfig {
   ClusterOptions cluster{};
 };
 
-struct RunResult {
-  bool completed = false;
-  sim::Duration elapsed = 0;
-  std::int64_t tasks = 0;
-  /// Spawn-to-completion latency per task, microseconds (when collected).
-  std::vector<double> task_latency_us;
-  /// Achieved occupancy: time-averaged warps doing *task work* over the
-  /// device warp capacity.
-  double occupancy = 0.0;
-
-  /// PCIe wire occupancy per direction (copy-boundedness diagnostics; the
-  /// Table 3 "% time spent in data copy" analysis).
-  sim::Duration h2d_wire_busy = 0;
-  sim::Duration d2h_wire_busy = 0;
-
-  double elapsed_ms() const { return sim::to_milliseconds(elapsed); }
-};
+/// The uniform measurement (assembled by engine::ResultBuilder).
+using RunResult = engine::RunResult;
 
 class TaskRuntime {
  public:
@@ -109,7 +96,11 @@ class TaskRuntime {
 /// "PThreads", "Sequential", "Cluster".
 std::unique_ptr<TaskRuntime> make_runtime(std::string_view name);
 
-/// Highest dependency wave in the workload (0 = all independent).
+/// Every name make_runtime() accepts, in canonical (comparison-table) order.
+std::span<const std::string_view> all_runtime_names();
+
+/// Highest dependency wave in the workload (0 = all independent). Reads the
+/// value Workload::generate() cached; no task-list scan.
 int max_wave(const workloads::Workload& w);
 
 }  // namespace pagoda::baselines

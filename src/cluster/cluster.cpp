@@ -7,10 +7,17 @@ namespace pagoda::cluster {
 GpuNode::GpuNode(sim::Simulation& sim, const NodeConfig& cfg, int index)
     : index_(index),
       cfg_(cfg),
-      dev_(sim, cfg.spec, cfg.pcie),
-      rt_(dev_, cfg.host, cfg.pagoda),
-      h2d_stream_(dev_),
-      d2h_stream_(dev_) {}
+      session_(sim,
+               [&] {
+                 engine::SessionConfig sc;
+                 sc.spec = cfg.spec;
+                 sc.pcie = cfg.pcie;
+                 sc.host = cfg.host;
+                 sc.pagoda_runtime = true;
+                 sc.pagoda = cfg.pagoda;
+                 return sc;
+               }()),
+      pipe_(session_, {.h2d_streams = 1, .d2h_streams = 1}) {}
 
 void GpuNode::cache_insert(std::uint64_t key) {
   if (cfg_.cache_keys <= 0) return;
@@ -34,11 +41,11 @@ Cluster::Cluster(sim::Simulation& sim, const std::vector<NodeConfig>& nodes)
 }
 
 void Cluster::start() {
-  for (auto& n : nodes_) n->rt().start();
+  for (auto& n : nodes_) n->session().start();
 }
 
 void Cluster::shutdown() {
-  for (auto& n : nodes_) n->rt().shutdown();
+  for (auto& n : nodes_) n->session().shutdown();
 }
 
 double Cluster::executor_busy_warp_seconds() const {

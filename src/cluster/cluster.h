@@ -22,6 +22,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "engine/session.h"
+#include "engine/stage_pipeline.h"
 #include "gpu/device.h"
 #include "gpu/stream.h"
 #include "host/host_api.h"
@@ -51,28 +53,32 @@ class GpuNode {
   GpuNode& operator=(const GpuNode&) = delete;
 
   int index() const { return index_; }
-  gpu::Device& device() { return dev_; }
-  runtime::Runtime& rt() { return rt_; }
+  /// The node's engine session (shares the cluster-wide Simulation). The
+  /// cluster driver attaches observability through it, per node prefix.
+  engine::Session& session() { return session_; }
+  gpu::Device& device() { return session_.device(); }
+  runtime::Runtime& rt() { return session_.rt(); }
   const NodeConfig& config() const { return cfg_; }
-  gpu::Stream& h2d_stream() { return h2d_stream_; }
-  gpu::Stream& d2h_stream() { return d2h_stream_; }
+  gpu::Stream& h2d_stream() { return pipe_.h2d_stream(0); }
+  gpu::Stream& d2h_stream() { return pipe_.d2h_stream(0); }
 
   // --- load signals for placement policies ------------------------------
   /// Requests placed on this node and not yet finalized (queued for a
   /// TaskTable slot, copying, executing, or draining their output copy).
   int outstanding() const { return outstanding_; }
   /// TaskTable entries on this device — the node's admission capacity.
-  int capacity() const { return rt_.cpu_table().size(); }
+  int capacity() const { return session_.rt().cpu_table().size(); }
   /// Executor warps across all MTBs (relative device muscle; a Tesla K40
   /// node has fewer than a Titan X node).
   int executor_warp_capacity() const {
-    return rt_.master_kernel().num_mtbs() *
+    return session_.rt().master_kernel().num_mtbs() *
            runtime::MasterKernel::kExecutorWarps;
   }
   /// Fraction of executor warps currently running task work — the same
   /// passive read the obs sampler records as `pagoda.executors.busy`.
   double busy_executor_fraction() const {
-    return static_cast<double>(rt_.master_kernel().busy_executor_warps()) /
+    return static_cast<double>(
+               session_.rt().master_kernel().busy_executor_warps()) /
            static_cast<double>(executor_warp_capacity());
   }
 
@@ -103,10 +109,8 @@ class GpuNode {
  private:
   int index_;
   NodeConfig cfg_;
-  gpu::Device dev_;
-  runtime::Runtime rt_;
-  gpu::Stream h2d_stream_;
-  gpu::Stream d2h_stream_;
+  engine::Session session_;
+  engine::StagePipeline pipe_;  // the node's dedicated H2D/D2H data streams
   int outstanding_ = 0;
   double outstanding_work_ = 0.0;
   std::int64_t completed_ = 0;

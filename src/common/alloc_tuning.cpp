@@ -1,0 +1,22 @@
+#include "common/alloc_tuning.h"
+
+#include <cstdlib>  // defines __GLIBC__ on glibc platforms
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+namespace pagoda::common {
+
+void tune_allocator_for_batch_runs() {
+#if defined(__GLIBC__)
+  // 1 GiB thresholds: workload buffers (tens to hundreds of MB) stay on the
+  // main heap and survive free() for the next experiment instead of being
+  // munmapped and re-faulted in.
+  constexpr int kLarge = 1 << 30;
+  mallopt(M_MMAP_THRESHOLD, kLarge);
+  mallopt(M_TRIM_THRESHOLD, kLarge);
+#endif
+}
+
+}  // namespace pagoda::common

@@ -1,0 +1,17 @@
+// Process-wide allocator tuning for batch simulation runs.
+//
+// A single experiment allocates a few hundred MB of workload buffers, frees
+// them, and the next experiment allocates again. With glibc's defaults every
+// large buffer is a fresh mmap/munmap pair and every re-touch a page fault,
+// so multi-experiment binaries (bench sweeps, `--runtime=all`) spend more
+// wall-clock in the kernel than in the simulator. Raising the mmap/trim
+// thresholds keeps freed arenas cached in the allocator across experiments.
+#pragma once
+
+namespace pagoda::common {
+
+/// Call once near the top of main() in binaries that run many experiments
+/// back to back. Idempotent; a no-op on non-glibc platforms.
+void tune_allocator_for_batch_runs();
+
+}  // namespace pagoda::common

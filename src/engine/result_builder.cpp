@@ -1,0 +1,96 @@
+#include "engine/result_builder.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "obs/collector.h"
+
+namespace pagoda::engine {
+
+ResultBuilder::ResultBuilder(int num_tasks)
+    : starts_(static_cast<std::size_t>(num_tasks), 0),
+      ends_(static_cast<std::size_t>(num_tasks), 0) {}
+
+void ResultBuilder::complete(bool done, sim::Time end_time) {
+  res_.completed = done;
+  res_.elapsed = end_time;
+  end_time_ = end_time;
+}
+
+void ResultBuilder::wires_from(gpu::Device& dev) {
+  res_.h2d_wire_busy +=
+      dev.pcie().link(pcie::Direction::HostToDevice).busy_time();
+  res_.d2h_wire_busy +=
+      dev.pcie().link(pcie::Direction::DeviceToHost).busy_time();
+}
+
+void ResultBuilder::occupancy_device(gpu::Device& dev) {
+  res_.occupancy = dev.achieved_occupancy();
+}
+
+void ResultBuilder::occupancy_executors(runtime::Runtime& rt,
+                                        const gpu::GpuSpec& spec) {
+  occupancy_integral(rt.master_kernel().executor_busy_warp_seconds(),
+                     static_cast<double>(spec.max_resident_warps()));
+}
+
+void ResultBuilder::occupancy_integral(double busy_warp_seconds,
+                                       double warp_capacity) {
+  const double elapsed_s = sim::to_seconds(end_time_);
+  if (elapsed_s > 0.0) {
+    res_.occupancy = busy_warp_seconds / (elapsed_s * warp_capacity);
+  }
+}
+
+void ResultBuilder::uniform_interval(sim::Time start, sim::Time end) {
+  uniform_ = true;
+  uniform_start_ = start;
+  uniform_end_ = end;
+}
+
+void ResultBuilder::set_latencies(std::vector<double> latency_us) {
+  wholesale_latencies_ = true;
+  latencies_ = std::move(latency_us);
+}
+
+void ResultBuilder::add_span(sim::Time start, sim::Time end) {
+  extra_spans_.emplace_back(start, end);
+}
+
+void ResultBuilder::set_tasks(std::int64_t tasks) { tasks_override_ = tasks; }
+
+RunResult ResultBuilder::assemble(bool collect_latencies,
+                                  obs::Collector* collector) {
+  const auto n = static_cast<int>(starts_.size());
+  res_.tasks = tasks_override_ >= 0 ? tasks_override_
+                                    : static_cast<std::int64_t>(n);
+  if (collect_latencies) {
+    if (wholesale_latencies_) {
+      res_.task_latency_us = std::move(latencies_);
+    } else if (uniform_) {
+      res_.task_latency_us.assign(
+          static_cast<std::size_t>(n),
+          sim::to_microseconds(uniform_end_ - uniform_start_));
+    } else {
+      res_.task_latency_us.reserve(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        res_.task_latency_us.push_back(
+            sim::to_microseconds(end_of(i) - start_of(i)));
+      }
+    }
+  }
+  if (collector != nullptr) {
+    for (const auto& [s, e] : extra_spans_) collector->task_span(s, e);
+    if (uniform_) {
+      collector->task_span(uniform_start_, uniform_end_);
+    } else {
+      for (int i = 0; i < n; ++i) {
+        collector->task_span(start_of(i), end_of(i));
+      }
+    }
+    collector->finish(end_time_, res_.tasks);
+  }
+  return std::move(res_);
+}
+
+}  // namespace pagoda::engine

@@ -1,0 +1,30 @@
+// The uniform measurement every execution scheme reports (formerly
+// baselines::RunResult; moved down so the engine can assemble it).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time_types.h"
+
+namespace pagoda::engine {
+
+struct RunResult {
+  bool completed = false;
+  sim::Duration elapsed = 0;
+  std::int64_t tasks = 0;
+  /// Spawn-to-completion latency per task, microseconds (when collected).
+  std::vector<double> task_latency_us;
+  /// Achieved occupancy: time-averaged warps doing *task work* over the
+  /// device warp capacity.
+  double occupancy = 0.0;
+
+  /// PCIe wire occupancy per direction (copy-boundedness diagnostics; the
+  /// Table 3 "% time spent in data copy" analysis).
+  sim::Duration h2d_wire_busy = 0;
+  sim::Duration d2h_wire_busy = 0;
+
+  double elapsed_ms() const { return sim::to_milliseconds(elapsed); }
+};
+
+}  // namespace pagoda::engine

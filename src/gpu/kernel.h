@@ -23,6 +23,7 @@
 
 #include "common/check.h"
 #include "gpu/cost_model.h"
+#include "sim/frame_pool.h"
 
 namespace pagoda::gpu {
 
@@ -37,7 +38,7 @@ class WarpCtx;
 /// running (the runtime owns it).
 class [[nodiscard]] KernelCoro {
  public:
-  struct promise_type {
+  struct promise_type : sim::PooledFrame {
     KernelCoro get_return_object() {
       return KernelCoro(Handle::from_promise(*this));
     }

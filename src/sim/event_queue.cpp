@@ -6,37 +6,82 @@
 
 namespace pagoda::sim {
 
+std::uint32_t EventQueue::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  nodes_.emplace_back();
+  return static_cast<std::uint32_t>(nodes_.size() - 1);
+}
+
+void EventQueue::release_slot(std::uint32_t slot) {
+  Node& n = nodes_[slot];
+  n.live = false;
+  n.gen += 1;  // invalidates any heap key still referencing this slot
+  n.fn = nullptr;
+  n.resume = nullptr;
+  free_slots_.push_back(slot);
+}
+
+EventId EventQueue::push(Time at, std::uint32_t slot) {
+  Node& n = nodes_[slot];
+  n.live = true;
+  heap_.push(HeapItem{at, next_seq_++, slot, n.gen});
+  live_ += 1;
+  return (static_cast<EventId>(slot) + 1) << 32 | n.gen;
+}
+
 EventId EventQueue::schedule(Time at, std::function<void()> fn) {
-  const EventId id = next_id_++;
-  heap_.push(Entry{at, id, std::move(fn)});
-  pending_.insert(id);
-  return id;
+  const std::uint32_t slot = acquire_slot();
+  nodes_[slot].fn = std::move(fn);
+  return push(at, slot);
+}
+
+EventId EventQueue::schedule_resume(Time at, std::coroutine_handle<> h) {
+  const std::uint32_t slot = acquire_slot();
+  nodes_[slot].resume = h;
+  return push(at, slot);
 }
 
 bool EventQueue::cancel(EventId id) {
-  // An entry is live iff its id is in pending_; cancelled entries stay in the
-  // heap until they bubble to the top, where skim() drops them.
-  return pending_.erase(id) > 0;
+  if (id == 0) return false;
+  const auto slot = static_cast<std::uint32_t>((id >> 32) - 1);
+  const auto gen = static_cast<std::uint32_t>(id & 0xFFFFFFFFu);
+  if (slot >= nodes_.size()) return false;
+  Node& n = nodes_[slot];
+  if (!n.live || n.gen != gen) return false;
+  release_slot(slot);  // the stale heap key is skimmed later
+  live_ -= 1;
+  return true;
 }
 
 void EventQueue::skim() {
-  while (!heap_.empty() && !pending_.contains(heap_.top().id)) {
+  while (!heap_.empty()) {
+    const HeapItem& top = heap_.top();
+    const Node& n = nodes_[top.slot];
+    if (n.live && n.gen == top.gen) return;
     heap_.pop();
   }
 }
 
 Time EventQueue::next_time() const {
-  const_cast<EventQueue*>(this)->skim();
+  auto* self = const_cast<EventQueue*>(this);
+  self->skim();
   return heap_.empty() ? kTimeMax : heap_.top().at;
 }
 
 EventQueue::Popped EventQueue::pop() {
   skim();
   PAGODA_CHECK_MSG(!heap_.empty(), "pop on empty queue");
-  Entry e = std::move(const_cast<Entry&>(heap_.top()));
+  const HeapItem top = heap_.top();
   heap_.pop();
-  pending_.erase(e.id);
-  return Popped{e.at, std::move(e.fn)};
+  Node& n = nodes_[top.slot];
+  Popped p{top.at, std::move(n.fn), n.resume};
+  release_slot(top.slot);
+  live_ -= 1;
+  return p;
 }
 
 }  // namespace pagoda::sim

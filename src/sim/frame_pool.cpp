@@ -1,0 +1,68 @@
+#include "sim/frame_pool.h"
+
+#include <new>
+
+namespace pagoda::sim {
+
+#ifndef PAGODA_FRAME_POOL_DISABLED
+
+namespace {
+
+// Buckets are kGranule-sized steps up to kGranule * kBuckets (2 KiB); the
+// simulator's frames (Process/Task bodies) all land well inside that.
+constexpr std::size_t kGranule = 64;
+constexpr std::size_t kBuckets = 32;
+
+struct FreeNode {
+  FreeNode* next;
+};
+
+struct Pool {
+  FreeNode* buckets[kBuckets] = {};
+
+  ~Pool() {
+    for (FreeNode* head : buckets) {
+      while (head != nullptr) {
+        FreeNode* next = head->next;
+        ::operator delete(head);
+        head = next;
+      }
+    }
+  }
+};
+
+thread_local Pool tls_pool;
+
+}  // namespace
+
+void* frame_alloc(std::size_t bytes) {
+  const std::size_t b = (bytes + kGranule - 1) / kGranule;
+  if (b == 0 || b > kBuckets) return ::operator new(bytes);
+  FreeNode*& head = tls_pool.buckets[b - 1];
+  if (head != nullptr) {
+    FreeNode* n = head;
+    head = n->next;
+    return n;
+  }
+  return ::operator new(b * kGranule);
+}
+
+void frame_free(void* p, std::size_t bytes) noexcept {
+  const std::size_t b = (bytes + kGranule - 1) / kGranule;
+  if (b == 0 || b > kBuckets) {
+    ::operator delete(p);
+    return;
+  }
+  auto* n = static_cast<FreeNode*>(p);
+  n->next = tls_pool.buckets[b - 1];
+  tls_pool.buckets[b - 1] = n;
+}
+
+#else  // PAGODA_FRAME_POOL_DISABLED
+
+void* frame_alloc(std::size_t bytes) { return ::operator new(bytes); }
+void frame_free(void* p, std::size_t) noexcept { ::operator delete(p); }
+
+#endif
+
+}  // namespace pagoda::sim

@@ -16,6 +16,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "sim/frame_pool.h"
 #include "sim/joinable.h"
 #include "sim/simulation.h"
 
@@ -26,7 +27,7 @@ class [[nodiscard]] Process {
   struct promise_type;
   using Handle = std::coroutine_handle<promise_type>;
 
-  struct promise_type {
+  struct promise_type : PooledFrame {
     std::shared_ptr<ProcessState> state = std::make_shared<ProcessState>();
 
     Process get_return_object() {
@@ -43,7 +44,7 @@ class [[nodiscard]] Process {
         if (!st->joiners.empty()) {
           PAGODA_CHECK(st->sim != nullptr);
           for (std::coroutine_handle<> j : st->joiners) {
-            st->sim->defer([j] { j.resume(); });
+            st->sim->defer_resume(j);
           }
           st->joiners.clear();
         }

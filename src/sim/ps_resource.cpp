@@ -69,17 +69,19 @@ void PsResource::on_completion_event() {
   completion_event_ = 0;
   advance_virtual_time();
   // Pop every job whose service is complete (ties complete together, e.g.,
-  // equal-work jobs submitted at the same instant).
-  std::vector<std::function<void()>> done;
+  // equal-work jobs submitted at the same instant). The staging vector is a
+  // reused member; callbacks only run after re-arming, and nothing re-enters
+  // this method synchronously (completions fire from the event queue only).
+  done_scratch_.clear();
   while (!heap_.empty() &&
          heap_.top().finish_v <= virtual_time_ + kWorkEpsilon) {
-    done.push_back(std::move(const_cast<Job&>(heap_.top()).on_done));
+    done_scratch_.push_back(std::move(const_cast<Job&>(heap_.top()).on_done));
     heap_.pop();
   }
   // Integer-time rounding can fire the event one tick early, before the top
   // job's virtual finish time; in that case just re-arm.
   reschedule_completion();
-  for (auto& fn : done) fn();
+  for (auto& fn : done_scratch_) fn();
 }
 
 // The read-side accessors must NOT advance the internal accumulators:

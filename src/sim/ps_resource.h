@@ -92,6 +92,11 @@ class PsResource {
 
   double busy_integral_ = 0.0;  // work-unit·seconds of utilized capacity
   double job_integral_ = 0.0;   // job·seconds
+
+  /// Completion-callback staging, reused across completion events so the
+  /// hot path (every SMM instruction segment, every PCIe transfer) does not
+  /// allocate a fresh vector per completion.
+  std::vector<std::function<void()>> done_scratch_;
 };
 
 }  // namespace pagoda::sim

@@ -21,12 +21,25 @@ EventId Simulation::defer(std::function<void()> fn) {
   return queue_.schedule(now_, std::move(fn));
 }
 
+EventId Simulation::at_resume(Time t, std::coroutine_handle<> h) {
+  PAGODA_CHECK_MSG(t >= now_, "cannot schedule events in the past");
+  return queue_.schedule_resume(t, h);
+}
+
+EventId Simulation::after_resume(Duration d, std::coroutine_handle<> h) {
+  PAGODA_CHECK_MSG(d >= 0, "negative delay");
+  return queue_.schedule_resume(now_ + d, h);
+}
+
+EventId Simulation::defer_resume(std::coroutine_handle<> h) {
+  return queue_.schedule_resume(now_, h);
+}
+
 Joinable Simulation::spawn(Process p) {
   PAGODA_CHECK_MSG(!p.state_->spawned, "process spawned twice");
   p.state_->sim = this;
   p.state_->spawned = true;
-  const Process::Handle h = p.handle_;
-  defer([h] { h.resume(); });
+  defer_resume(p.handle_);
   return Joinable(p.state_);
 }
 
@@ -48,7 +61,7 @@ bool Simulation::step() {
   if (queue_.empty()) return false;
   EventQueue::Popped e = queue_.pop();
   now_ = e.at;
-  e.fn();
+  e.run();
   return true;
 }
 

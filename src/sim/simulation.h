@@ -34,6 +34,14 @@ class Simulation {
   /// Schedules fn at the current time, after already-pending same-time events.
   EventId defer(std::function<void()> fn);
 
+  // Resume fast paths: same scheduling semantics as at/after/defer, but the
+  // event stores the bare coroutine handle — no callable object. Every wake
+  // path in the simulator (delay, sync primitives, process joins) goes
+  // through these.
+  EventId at_resume(Time t, std::coroutine_handle<> h);
+  EventId after_resume(Duration d, std::coroutine_handle<> h);
+  EventId defer_resume(std::coroutine_handle<> h);
+
   bool cancel(EventId id) { return queue_.cancel(id); }
 
   /// Starts a coroutine process. The process body begins executing at now()
@@ -49,7 +57,7 @@ class Simulation {
       Duration d;
       bool await_ready() const noexcept { return false; }
       void await_suspend(std::coroutine_handle<> h) {
-        sim->after(d, [h] { h.resume(); });
+        sim->after_resume(d, h);
       }
       void await_resume() const noexcept {}
     };

@@ -99,7 +99,7 @@ class Condition {
     for (Waiter& w : woken) {
       if (w.timeout_event != 0) sim_->cancel(w.timeout_event);
       if (w.notified_flag != nullptr) *w.notified_flag = true;
-      sim_->defer([h = w.handle] { h.resume(); });
+      sim_->defer_resume(w.handle);
     }
   }
 
@@ -132,7 +132,7 @@ class Trigger {
     if (fired_) return;
     fired_ = true;
     for (std::coroutine_handle<> h : waiters_) {
-      sim_->defer([h] { h.resume(); });
+      sim_->defer_resume(h);
     }
     waiters_.clear();
     for (auto& fn : callbacks_) {
@@ -202,7 +202,7 @@ class Semaphore {
     if (!waiters_.empty()) {
       const std::coroutine_handle<> h = waiters_.front();
       waiters_.pop_front();
-      sim_->defer([h] { h.resume(); });
+      sim_->defer_resume(h);
     } else {
       ++count_;
     }

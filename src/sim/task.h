@@ -15,6 +15,8 @@
 #include <exception>
 #include <utility>
 
+#include "sim/frame_pool.h"
+
 namespace pagoda::sim {
 
 template <typename T = void>
@@ -32,7 +34,7 @@ class [[nodiscard]] Task {
     void await_resume() const noexcept {}
   };
 
-  struct PromiseBase {
+  struct PromiseBase : PooledFrame {
     std::coroutine_handle<> continuation;
     std::suspend_always initial_suspend() noexcept { return {}; }
     FinalAwaiter final_suspend() noexcept { return {}; }
@@ -80,7 +82,7 @@ class [[nodiscard]] Task<void> {
     void await_resume() const noexcept {}
   };
 
-  struct promise_type {
+  struct promise_type : PooledFrame {
     std::coroutine_handle<> continuation;
     Task get_return_object() { return Task(Handle::from_promise(*this)); }
     std::suspend_always initial_suspend() noexcept { return {}; }

@@ -64,7 +64,7 @@ class BeamFormerWorkload final : public Workload {
                           .default_registers = 34};
   }
 
-  void generate(const WorkloadConfig& cfg) override {
+  void do_generate(const WorkloadConfig& cfg) override {
     cfg_ = cfg;
     SplitMix64 rng(cfg.seed);
     const int base_width = cfg.input_scale > 0 ? cfg.input_scale : kDefaultWidth;

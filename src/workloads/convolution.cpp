@@ -66,7 +66,7 @@ class ConvolutionWorkload final : public Workload {
                           .default_registers = 25};
   }
 
-  void generate(const WorkloadConfig& cfg) override {
+  void do_generate(const WorkloadConfig& cfg) override {
     cfg_ = cfg;
     SplitMix64 rng(cfg.seed);
     const int side = cfg.input_scale > 0 ? cfg.input_scale : kDefaultSide;

@@ -133,7 +133,7 @@ class Dct8x8Workload final : public Workload {
                           .default_registers = 33};
   }
 
-  void generate(const WorkloadConfig& cfg) override {
+  void do_generate(const WorkloadConfig& cfg) override {
     cfg_ = cfg;
     SplitMix64 rng(cfg.seed);
     const int side = cfg.input_scale > 0 ? cfg.input_scale : kDefaultSide;

@@ -104,7 +104,7 @@ class MandelbrotWorkload final : public Workload {
                           .default_registers = 28};
   }
 
-  void generate(const WorkloadConfig& cfg) override {
+  void do_generate(const WorkloadConfig& cfg) override {
     cfg_ = cfg;
     const int side = cfg.input_scale > 0 ? cfg.input_scale : kDefaultSide;
     side_ = side;

@@ -92,7 +92,7 @@ class MatMulWorkload final : public Workload {
                           .default_registers = 30};
   }
 
-  void generate(const WorkloadConfig& cfg) override {
+  void do_generate(const WorkloadConfig& cfg) override {
     cfg_ = cfg;
     SplitMix64 rng(cfg.seed);
     const int base_n = cfg.input_scale > 0 ? cfg.input_scale : kDefaultN;

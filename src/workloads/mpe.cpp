@@ -30,7 +30,7 @@ class MpeWorkload final : public Workload {
                           .default_registers = 30};
   }
 
-  void generate(const WorkloadConfig& cfg) override {
+  void do_generate(const WorkloadConfig& cfg) override {
     const int per_sub = std::max(1, cfg.num_tasks / static_cast<int>(subs_.size()));
     tasks_.clear();
     for (std::size_t s = 0; s < subs_.size(); ++s) {

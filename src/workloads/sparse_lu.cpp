@@ -87,7 +87,7 @@ class SparseLuWorkload final : public Workload {
                           .default_registers = 17};
   }
 
-  void generate(const WorkloadConfig& cfg) override {
+  void do_generate(const WorkloadConfig& cfg) override {
     cfg_ = cfg;
     SplitMix64 rng(cfg.seed);
     const int base_n = cfg.input_scale > 0 ? cfg.input_scale : kDefaultFront;

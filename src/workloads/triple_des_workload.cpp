@@ -69,7 +69,7 @@ class TripleDesWorkload final : public Workload {
                           .default_registers = 26};
   }
 
-  void generate(const WorkloadConfig& cfg) override {
+  void do_generate(const WorkloadConfig& cfg) override {
     cfg_ = cfg;
     SplitMix64 rng(cfg.seed);
     key_ = triple_des_key(rng.next(), rng.next(), rng.next());

@@ -1,11 +1,18 @@
 #include "workloads/workload.h"
 
+#include <algorithm>
 #include <array>
 
 #include "common/check.h"
 #include "workloads/factories.h"
 
 namespace pagoda::workloads {
+
+void Workload::generate(const WorkloadConfig& cfg) {
+  do_generate(cfg);
+  max_wave_ = 0;
+  for (const TaskSpec& t : tasks()) max_wave_ = std::max(max_wave_, t.wave);
+}
 
 std::int64_t Workload::total_h2d_bytes() const {
   std::int64_t total = 0;

@@ -73,10 +73,19 @@ class Workload {
 
   virtual WorkloadTraits traits() const = 0;
 
-  /// (Re)builds inputs and task list for the given configuration.
-  virtual void generate(const WorkloadConfig& cfg) = 0;
+  /// (Re)builds inputs and task list for the given configuration, then
+  /// caches derived task-list properties (dependency-wave depth). Not
+  /// virtual so the cache cannot be bypassed; subclasses implement
+  /// do_generate().
+  void generate(const WorkloadConfig& cfg);
 
   virtual std::span<const TaskSpec> tasks() const = 0;
+
+  /// Deepest TaskSpec::wave over tasks() (0 for independent-task
+  /// workloads). Cached by generate(): runtimes consult this per run —
+  /// supports() checks, wave-loop bounds — and must not rescan the task
+  /// list each time.
+  int max_wave() const { return max_wave_; }
 
   /// Clears outputs so a second run can be verified independently.
   virtual void reset_outputs() = 0;
@@ -91,6 +100,13 @@ class Workload {
   std::int64_t total_h2d_bytes() const;
   std::int64_t total_d2h_bytes() const;
   double total_cpu_ops() const;
+
+ protected:
+  /// Subclass hook: rebuild inputs and the task list.
+  virtual void do_generate(const WorkloadConfig& cfg) = 0;
+
+ private:
+  int max_wave_ = 0;
 };
 
 /// Thread count for a task whose input is `size_ratio` times the nominal

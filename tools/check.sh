@@ -41,8 +41,58 @@ cluster_smoke() {
     grep -q "poisson:RATE"
 }
 
+engine_grep_clean() {
+  # The engine::Session layer owns simulation bring-up: nothing outside
+  # src/engine and src/sim (plus tests) may construct a sim::Simulation
+  # directly.
+  echo "==> engine layering grep"
+  local hits
+  hits=$(grep -rn "sim::Simulation sim;\|sim::Simulation sim(" \
+      --include="*.cpp" --include="*.h" src bench examples tools |
+      grep -v "^src/engine/\|^src/sim/" || true)
+  if [[ -n "${hits}" ]]; then
+    echo "error: direct sim::Simulation construction outside the engine:" >&2
+    echo "${hits}" >&2
+    exit 1
+  fi
+}
+
+wallclock_gate() {
+  # Host wall-clock regression gate on the hot path. Median of 3 Release
+  # runs of fig5_overall --tasks=4096 must beat the pre-engine-refactor
+  # baseline (8.357 s) by at least 1.25x.
+  local dir="$1"
+  local baseline_s=8.357
+  local budget_s=6.68   # baseline / 1.25
+  echo "==> wall-clock gate (fig5_overall --tasks=4096, median of 3)"
+  local runs=()
+  local t0 t1
+  for _ in 1 2 3; do
+    t0=$(date +%s%N)
+    "${dir}/bench/fig5_overall" --tasks=4096 >/dev/null
+    t1=$(date +%s%N)
+    runs+=("$(awk -v a="$t0" -v b="$t1" 'BEGIN{printf "%.3f", (b-a)/1e9}')")
+  done
+  local median
+  median=$(printf '%s\n' "${runs[@]}" | sort -n | sed -n 2p)
+  printf '{\n  "bench": "fig5_overall",\n  "tasks": 4096,\n  "runs_s": [%s, %s, %s],\n  "median_s": %s,\n  "pre_refactor_baseline_s": %s,\n  "speedup": %s\n}\n' \
+    "${runs[0]}" "${runs[1]}" "${runs[2]}" "${median}" "${baseline_s}" \
+    "$(awk -v b="${baseline_s}" -v m="${median}" 'BEGIN{printf "%.2f", b/m}')" \
+    > BENCH_wallclock.json
+  echo "    runs: ${runs[*]} -> median ${median}s (budget ${budget_s}s)"
+  if awk -v m="${median}" -v b="${budget_s}" 'BEGIN{exit !(m > b)}'; then
+    echo "error: fig5_overall median ${median}s exceeds ${budget_s}s" >&2
+    exit 1
+  fi
+}
+
+# Both test passes run golden_metrics_test via ctest, pinning fixed-seed
+# metrics JSON byte-for-byte against tests/golden/ in Release AND under
+# sanitizers.
 run_pass build-release -DCMAKE_BUILD_TYPE=Release -DPAGODA_WERROR=ON
 cluster_smoke build-release
+engine_grep_clean
+wallclock_gate build-release
 
 echo "==> bench determinism (cluster_scaling)"
 build-release/bench/cluster_scaling --tasks=512 --out=/tmp/pagoda_cluster_a.json >/dev/null

@@ -7,6 +7,8 @@
 //   pagoda_cli --workload=MM --runtime=GeMTC --metrics
 //   pagoda_cli --workload=MM --runtime=Pagoda --metrics=metrics.json
 //   pagoda_cli --workload=MM --runtime=HyperQ --profile=profile.json
+//   pagoda_cli --workload=MM --runtime=all               # comparison table
+//   pagoda_cli --workload=MM --runtime=HyperQ,GeMTC,Pagoda
 //   pagoda_cli --list
 //
 // Prints end-to-end time, occupancy, wire utilization and per-task latency
@@ -24,6 +26,7 @@
 #include "baselines/factories.h"
 #include "cluster/placement.h"
 #include "cluster/traffic.h"
+#include "common/alloc_tuning.h"
 #include "common/stats.h"
 #include "harness/calibration.h"
 #include "harness/experiment.h"
@@ -41,8 +44,11 @@ int list_options() {
   for (const auto wl : workloads::all_workload_names()) {
     std::printf("%s ", std::string(wl).c_str());
   }
-  std::printf("\nruntimes:  Sequential PThreads HyperQ GeMTC Fusion Pagoda "
-              "PagodaBatching Cluster\n");
+  std::printf("\nruntimes:  ");
+  for (const std::string_view rt : baselines::all_runtime_names()) {
+    std::printf("%s ", std::string(rt).c_str());
+  }
+  std::printf("(or a comma list, or \"all\" for a comparison table)\n");
   std::printf(
       "flags:     --tasks=N --threads=N --blocks=N --seed=N --input=N\n"
       "           --irregular --dynamic-threads --no-shmem --no-copies\n"
@@ -60,6 +66,44 @@ int list_options() {
   std::printf("\narrivals:  %s\n",
               std::string(cluster::ArrivalConfig::choices()).c_str());
   return 0;
+}
+
+bool is_runtime_name(const std::string& name) {
+  for (const std::string_view rt : baselines::all_runtime_names()) {
+    if (name == rt) return true;
+  }
+  return false;
+}
+
+/// --runtime= value: one name, a comma list, or "all". Empty vector (after
+/// the printed error) on an unknown name.
+std::vector<std::string> parse_runtimes(const std::string& v) {
+  std::vector<std::string> names;
+  std::size_t pos = 0;
+  while (pos <= v.size()) {
+    const std::size_t comma = v.find(',', pos);
+    names.push_back(v.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (names.size() == 1 && names[0] == "all") {
+    names.assign(baselines::all_runtime_names().begin(),
+                 baselines::all_runtime_names().end());
+    return names;
+  }
+  for (const std::string& n : names) {
+    if (!is_runtime_name(n)) {
+      std::fprintf(stderr, "error: unknown --runtime '%s'; valid runtimes:",
+                   n.c_str());
+      for (const std::string_view rt : baselines::all_runtime_names()) {
+        std::fprintf(stderr, " %s", std::string(rt).c_str());
+      }
+      std::fprintf(stderr, " all\n");
+      return {};
+    }
+  }
+  return names;
 }
 
 /// --gpus= value: a device count ("4") or a comma list of spec names
@@ -93,6 +137,7 @@ std::vector<gpu::GpuSpec> parse_gpus(const std::string& v) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  common::tune_allocator_for_batch_runs();
   const Flags flags(argc, argv);
   const std::string bad = flags.unknown(
       {"list", "help", "workload", "runtime", "tasks", "threads", "seed",
@@ -110,15 +155,16 @@ int main(int argc, char** argv) {
   const std::string wl = flags.get("workload", "MM");
   // Any cluster flag selects the Cluster runtime; --runtime=Cluster works
   // too (with --gpus defaulting to a single Titan X).
-  const bool want_cluster =
-      flags.has("gpus") || flags.get("runtime") == "Cluster";
-  const std::string rt =
-      want_cluster ? "Cluster" : flags.get("runtime", "Pagoda");
-  if (want_cluster && !flags.get("runtime").empty() &&
-      flags.get("runtime") != "Cluster") {
+  const std::vector<std::string> rts = parse_runtimes(
+      flags.get("runtime", flags.has("gpus") ? "Cluster" : "Pagoda"));
+  if (rts.empty()) return 1;
+  const bool multi = rts.size() > 1;
+  if (flags.has("gpus") && (multi || rts[0] != "Cluster")) {
     std::fprintf(stderr, "error: --gpus only applies to --runtime=Cluster\n");
     return 1;
   }
+  const std::string rt = rts[0];
+  const bool want_cluster = !multi && rt == "Cluster";
   const bool pagoda_rt = rt == "Pagoda" || rt == "PagodaBatching";
 
   workloads::WorkloadConfig wcfg;
@@ -179,7 +225,7 @@ int main(int argc, char** argv) {
     rcfg.cluster.seed = wcfg.seed;
   }
 
-  if (!harness::runtime_supports(wl, rt, wcfg)) {
+  if (!multi && !harness::runtime_supports(wl, rt, wcfg)) {
     std::fprintf(stderr, "error: %s cannot run %s as configured\n",
                  rt.c_str(), wl.c_str());
     return 1;
@@ -204,6 +250,56 @@ int main(int argc, char** argv) {
   if (period_us <= 0) {
     std::fprintf(stderr, "error: --metrics-period must be positive\n");
     return 1;
+  }
+
+  if (multi) {
+    if (want_metrics || want_profile || want_trace) {
+      std::fprintf(stderr,
+                   "error: --metrics/--profile/--trace need a single "
+                   "--runtime\n");
+      return 1;
+    }
+    // One shared config; every scheme runs under the same engine Session
+    // parameters. Cluster (if listed) uses its defaults: one device of the
+    // configured spec.
+    rcfg.cluster.seed = wcfg.seed;
+    std::printf("workload   %s  (%d tasks, %d threads/task%s%s)\n", wl.c_str(),
+                wcfg.num_tasks, wcfg.threads_per_task,
+                wcfg.irregular_sizes ? ", irregular sizes" : "",
+                rcfg.include_data_copies ? "" : ", no data copies");
+    std::printf("mode       %s\n\n",
+                rcfg.mode == gpu::ExecMode::Compute ? "compute (verified)"
+                                                    : "model");
+    harness::Table table({"runtime", "time", "speedup", "occupancy",
+                          "p50 latency", "p99 latency"});
+    double base_time = 0.0;  // first supported runtime anchors the speedups
+    std::string base_name;
+    for (const std::string& r : rts) {
+      if (!harness::runtime_supports(wl, r, wcfg)) {
+        table.add_row({r, "n/a", "n/a", "n/a", "n/a", "n/a"});
+        continue;
+      }
+      const harness::Measurement m = harness::run_experiment(wl, r, wcfg, rcfg);
+      const auto t = static_cast<double>(m.result.elapsed);
+      if (base_time == 0.0) {
+        base_time = t;
+        base_name = r;
+      }
+      std::string p50 = "-";
+      std::string p99 = "-";
+      if (!m.result.task_latency_us.empty()) {
+        p50 = harness::fmt_us(percentile(m.result.task_latency_us, 50));
+        p99 = harness::fmt_us(percentile(m.result.task_latency_us, 99));
+      }
+      table.add_row({r, harness::fmt_ms(m.result.elapsed),
+                     harness::fmt_x(base_time / t),
+                     harness::fmt_pct(m.result.occupancy), p50, p99});
+    }
+    table.print(std::cout);
+    if (!base_name.empty()) {
+      std::printf("\nspeedups are relative to %s\n", base_name.c_str());
+    }
+    return 0;
   }
 
   obs::CollectorConfig ccfg;
