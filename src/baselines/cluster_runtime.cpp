@@ -18,6 +18,7 @@
 #include "cluster/traffic.h"
 #include "common/check.h"
 #include "engine/result_builder.h"
+#include "fault/plan.h"
 #include "engine/session.h"
 #include "obs/collector.h"
 #include "sim/process.h"
@@ -75,6 +76,18 @@ struct ClusterRunState {
     dc.queue_limit = cfg.cluster.queue_limit;
     dc.default_slo = cfg.cluster.slo;
     dc.host = cfg.host;
+    std::string err;
+    std::optional<fault::FaultPlan> plan =
+        fault::FaultPlan::parse(cfg.cluster.faults, &err);
+    PAGODA_CHECK_MSG(plan.has_value(), "bad --faults spec (CLI validates "
+                                       "first; direct callers must too)");
+    dc.faults = std::move(*plan);
+    if (dc.faults.seed == 0) dc.faults.seed = cfg.cluster.seed;
+    dc.retry.seed = dc.faults.seed;
+    if (cfg.cluster.retry_budget >= 0) {
+      dc.retry.budget = cfg.cluster.retry_budget;
+    }
+    dc.task_timeout = cfg.cluster.task_timeout;
     return dc;
   }
 };

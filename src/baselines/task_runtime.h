@@ -48,6 +48,14 @@ struct ClusterOptions {
   int queue_limit = 0;
   /// Seed for the arrival process.
   std::uint64_t seed = 1;
+  /// Fault-plan spec (see fault::FaultPlan::parse()); "" disables injection.
+  std::string faults;
+  /// Retries per request beyond the first attempt; -1 = the fault layer's
+  /// default budget.
+  int retry_budget = -1;
+  /// Per-attempt execution deadline; 0 = none (required nonzero by plans
+  /// that wedge or crash).
+  sim::Duration task_timeout = 0;
 };
 
 struct RunConfig {

@@ -30,6 +30,11 @@ void GpuNode::cache_insert(std::uint64_t key) {
   resident_fifo_.push_back(key);
 }
 
+void GpuNode::cache_clear() {
+  resident_.clear();
+  resident_fifo_.clear();
+}
+
 Cluster::Cluster(sim::Simulation& sim, const std::vector<NodeConfig>& nodes)
     : sim_(&sim) {
   PAGODA_CHECK_MSG(!nodes.empty(), "a cluster needs at least one GPU");

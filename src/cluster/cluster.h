@@ -24,6 +24,7 @@
 
 #include "engine/session.h"
 #include "engine/stage_pipeline.h"
+#include "fault/fault.h"
 #include "gpu/device.h"
 #include "gpu/stream.h"
 #include "host/host_api.h"
@@ -96,7 +97,50 @@ class GpuNode {
     outstanding_work_ -= cost;
     completed_ += 1;
   }
+  /// Un-counts an attempt that failed (fault/timeout/crash) without
+  /// recording a completion — load signals shrink, completed() does not grow.
+  void abandon_outstanding(double cost) {
+    outstanding_ -= 1;
+    outstanding_work_ -= cost;
+  }
   std::int64_t completed() const { return completed_; }
+
+  // --- fault plane ------------------------------------------------------
+  /// Injection-side ground truth: false once a crash fault fired. A dead
+  /// device keeps simulating internally (the MasterKernel is unreachable,
+  /// not paused) but nothing it produces reaches the host — the dispatcher
+  /// swallows its completions until the watchdog notices and recovery runs.
+  bool alive() const { return alive_; }
+  void set_alive(bool v) {
+    if (!v && alive_) {
+      // Crash: snapshot the host-visible liveness signature. The device
+      // keeps simulating, but the host's reads of its counters freeze here
+      // — exactly the flatline the watchdog detects.
+      frozen_heartbeat_ = session_.rt().master_kernel().heartbeats();
+      frozen_completed_ = session_.rt().master_kernel().tasks_completed();
+    }
+    alive_ = v;
+  }
+
+  /// Detection-side view maintained by the dispatcher (watchdog verdicts +
+  /// administrative drain). Placement only uses this: between crash and
+  /// detection a node still *looks* healthy and keeps receiving requests,
+  /// which then fail via their task deadline — exactly the real-world gap.
+  fault::NodeHealth health() const { return health_; }
+  void set_health(fault::NodeHealth h) { health_ = h; }
+  /// Whether placement may target this node.
+  bool eligible() const { return health_ == fault::NodeHealth::kHealthy; }
+
+  /// MasterKernel liveness signature for the watchdog (pure host-side read;
+  /// frozen at the crash instant while the node is down).
+  std::int64_t heartbeat() const {
+    return alive_ ? session_.rt().master_kernel().heartbeats()
+                  : frozen_heartbeat_;
+  }
+  std::int64_t visible_completed() const {
+    return alive_ ? session_.rt().master_kernel().tasks_completed()
+                  : frozen_completed_;
+  }
 
   // --- data-affinity cache ----------------------------------------------
   /// Whether `key` is resident (no cache mutation).
@@ -105,12 +149,18 @@ class GpuNode {
   }
   /// Marks `key` resident, evicting FIFO when full. No-op when disabled.
   void cache_insert(std::uint64_t key);
+  /// Drops every resident key (node-death recovery: the data died with it).
+  void cache_clear();
 
  private:
   int index_;
   NodeConfig cfg_;
   engine::Session session_;
   engine::StagePipeline pipe_;  // the node's dedicated H2D/D2H data streams
+  bool alive_ = true;
+  fault::NodeHealth health_ = fault::NodeHealth::kHealthy;
+  std::int64_t frozen_heartbeat_ = 0;
+  std::int64_t frozen_completed_ = 0;
   int outstanding_ = 0;
   double outstanding_work_ = 0.0;
   std::int64_t completed_ = 0;

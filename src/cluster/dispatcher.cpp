@@ -27,9 +27,11 @@ Dispatcher::Dispatcher(Cluster& cluster,
                        DispatcherConfig cfg)
     : cluster_(&cluster),
       policy_(std::move(policy)),
-      cfg_(cfg),
-      drained_(cluster.sim()) {
+      cfg_(std::move(cfg)),
+      drained_(cluster.sim()),
+      work_cv_(cluster.sim()) {
   PAGODA_CHECK_MSG(policy_ != nullptr, "Dispatcher needs a placement policy");
+  fault_armed_ = cfg_.faults.enabled() || cfg_.task_timeout > 0;
   node_state_.resize(static_cast<std::size_t>(cluster.size()));
   for (int i = 0; i < cluster.size(); ++i) {
     GpuNode& node = cluster.node(i);
@@ -41,6 +43,41 @@ Dispatcher::Dispatcher(Cluster& cluster,
     node.rt().set_completion_observer(
         [this, i](runtime::TaskId id, sim::Time) { on_task_complete(i, id); });
     cluster.sim().spawn(flush_timer(i));
+  }
+  if (fault_armed_) {
+    PAGODA_CHECK_MSG(!cfg_.faults.needs_deadline() || cfg_.task_timeout > 0,
+                     "fault plans with wedge/crash faults need a per-task "
+                     "deadline (task_timeout / --task-timeout-us > 0): a "
+                     "swallowed completion is otherwise unrecoverable");
+    for (const fault::CrashEvent& ev : cfg_.faults.crashes) {
+      PAGODA_CHECK_MSG(ev.node >= 0 && ev.node < cluster.size(),
+                       "crash fault names a node outside the cluster");
+      sim().at(ev.at, [this, ev] { inject_crash(ev); });
+    }
+    for (const fault::DegradeWindow& w : cfg_.faults.degrades) {
+      PAGODA_CHECK_MSG(w.node < cluster.size(),
+                       "degrade fault names a node outside the cluster");
+      sim().at(w.at, [this, w] {
+        fault_event("degrade");
+        set_bandwidth_scale(w.node, w.factor);
+      });
+      sim().at(w.at + w.duration,
+               [this, w] { set_bandwidth_scale(w.node, 1.0); });
+    }
+    if (cfg_.faults.transfer_fault_rate > 0.0) {
+      for (int i = 0; i < cluster.size(); ++i) {
+        // Per-node issue counter: the n-th payload transfer on node i
+        // corrupts (or not) regardless of cross-node interleaving.
+        cluster.node(i).session().pcie().set_transfer_fault_fn(
+            [this, i, seq = std::uint64_t{0}](pcie::Direction,
+                                              std::int64_t) mutable {
+              return cfg_.faults.transfer_corrupts(i, seq++);
+            });
+      }
+    }
+    watchdog_ = std::make_unique<fault::Watchdog>(cfg_.watchdog,
+                                                  cluster.size());
+    sim().spawn(watchdog_loop());
   }
 }
 
@@ -65,6 +102,27 @@ sim::Process Dispatcher::flush_timer(int node_index) {
   }
 }
 
+sim::Process Dispatcher::watchdog_loop() {
+  while (true) {
+    if (closed_ && in_flight_ == 0) co_return;
+    if (in_flight_ == 0) {
+      // Park: probing an idle cluster would keep the event queue alive
+      // forever. offer() and the last resolution wake us.
+      co_await work_cv_.wait();
+      continue;
+    }
+    co_await sim().delay(cfg_.watchdog.probe_period);
+    for (int i = 0; i < cluster_->size(); ++i) {
+      GpuNode& node = cluster_->node(i);
+      if (node.health() == fault::NodeHealth::kDead) continue;
+      const fault::NodeSig sig{node.heartbeat(), node.visible_completed()};
+      const bool has_work =
+          node_state_[static_cast<std::size_t>(i)].tracked > 0;
+      if (watchdog_->observe(i, sig, has_work)) node_failed(i);
+    }
+  }
+}
+
 void Dispatcher::offer(Request r) {
   PAGODA_CHECK_MSG(!closed_, "offer() after close()");
   stats_.offered += 1;
@@ -77,98 +135,388 @@ void Dispatcher::offer(Request r) {
     return;
   }
   const int node_index = policy_->pick(*cluster_, r);
-  PAGODA_CHECK_MSG(node_index >= 0 && node_index < cluster_->size(),
+  if (node_index < 0) {
+    // Whole fleet dead or draining: refuse at the door rather than queue
+    // onto capacity that may never come back.
+    stats_.dropped += 1;
+    if (r.slo > 0) stats_.slo_violations += 1;
+    return;
+  }
+  PAGODA_CHECK_MSG(node_index < cluster_->size(),
                    "placement policy returned a bad node index");
   stats_.admitted += 1;
+  Attempt a{std::move(r), sim().now(), 1, next_uid_++};
   placements_.push_back(node_index);
-  cluster_->node(node_index).add_outstanding(r.cost);
+  cluster_->node(node_index).add_outstanding(a.r.cost);
   in_flight_ += 1;
   backlog_ += 1;
-  sim().spawn(serve(std::move(r), node_index));
+  work_cv_.notify_all();  // new work: un-park the watchdog
+  sim().spawn(serve(std::move(a), node_index));
 }
 
-sim::Process Dispatcher::serve(Request r, int node_index) {
-  const sim::Time arrival = sim().now();
+void Dispatcher::dispatch_attempt(Attempt a) {
+  const int node_index = policy_->pick(*cluster_, a.r);
+  if (node_index < 0) {
+    // Capacity vanished between failure and re-placement.
+    shed_request(std::move(a), fault::FailureCause::kNodeCrash);
+    return;
+  }
+  PAGODA_CHECK_MSG(node_index < cluster_->size(),
+                   "placement policy returned a bad node index");
+  cluster_->node(node_index).add_outstanding(a.r.cost);
+  backlog_ += 1;
+  sim().spawn(serve(std::move(a), node_index));
+}
+
+sim::Process Dispatcher::serve(Attempt a, int node_index) {
   GpuNode& node = cluster_->node(node_index);
   NodeState& ns = node_state_[static_cast<std::size_t>(node_index)];
 
   // Backpressure: at most `capacity` requests per device own a TaskTable
   // entry or an input copy at once; the rest queue here, in FIFO order.
-  co_await ns.slots->acquire();
+  const bool granted = co_await ns.slots->acquire();
   backlog_ -= 1;
+  if (!granted) {
+    // The node died while this attempt queued: no slot was held. Re-place
+    // on a healthy peer without charging the retry budget.
+    node.abandon_outstanding(a.r.cost);
+    stats_.redispatched += 1;
+    fault_event("redispatch");
+    dispatch_attempt(std::move(a));
+    co_return;
+  }
+  stats_.slot_acquires += 1;
 
-  if (r.h2d_bytes > 0) {
-    const bool hit = r.data_key != 0 && node.cache_contains(r.data_key);
+  if (a.r.h2d_bytes > 0) {
+    const bool hit = a.r.data_key != 0 && node.cache_contains(a.r.data_key);
     if (hit) {
       stats_.affinity_hits += 1;
     } else {
       co_await sim().delay(cfg_.host.memcpy_setup);
       auto trig = std::make_shared<sim::Trigger>(sim());
-      node.h2d_stream().memcpy_async(
+      bool copy_ok = true;  // lives on this frame, set before trig fires
+      node.h2d_stream().memcpy_async_checked(
           pcie::Direction::HostToDevice, nullptr, nullptr,
-          static_cast<std::size_t>(r.h2d_bytes), [trig] { trig->fire(); });
+          static_cast<std::size_t>(a.r.h2d_bytes), [trig, &copy_ok](bool ok) {
+            copy_ok = ok;
+            trig->fire();
+          });
       co_await trig->wait();
-      stats_.h2d_bytes_copied += r.h2d_bytes;
-      if (r.data_key != 0) node.cache_insert(r.data_key);
+      stats_.h2d_bytes_copied += a.r.h2d_bytes;  // wire was occupied either way
+      if (node.health() == fault::NodeHealth::kDead) {
+        // The node was declared dead while this copy was on the wire, after
+        // the death sweep ran — this attempt is invisible to the sweep, so
+        // it must re-place itself (again without charging the budget).
+        ns.slots->release();
+        node.abandon_outstanding(a.r.cost);
+        stats_.redispatched += 1;
+        fault_event("redispatch");
+        dispatch_attempt(std::move(a));
+        co_return;
+      }
+      if (!copy_ok) {
+        stats_.injected_transfer_faults += 1;
+        fault_event("transfer_fault");
+        ns.slots->release();
+        attempt_failed(node_index, std::move(a),
+                       fault::FailureCause::kTransferFault);
+        co_return;
+      }
+      if (a.r.data_key != 0) node.cache_insert(a.r.data_key);
     }
   }
 
-  const runtime::TaskHandle h = co_await node.rt().task_spawn(r.params);
+  const runtime::TaskHandle h = co_await node.rt().task_spawn(a.r.params);
   ns.spawn_epoch += 1;
   ns.activity->notify_all();
-  NodeState::Record& rec =
-      ns.records[static_cast<std::size_t>(h.id - runtime::kFirstTaskId)];
+  if (node.health() == fault::NodeHealth::kDead) {
+    // Death was detected mid-spawn: the sweep never saw this attempt and
+    // any completion of the spawned task will be swallowed. Re-place it;
+    // the orphaned TaskTable entry resolves GPU-side on its own.
+    ns.slots->release();
+    node.abandon_outstanding(a.r.cost);
+    stats_.redispatched += 1;
+    fault_event("redispatch");
+    dispatch_attempt(std::move(a));
+    co_return;
+  }
+  const std::size_t idx =
+      static_cast<std::size_t>(h.id - runtime::kFirstTaskId);
+  NodeState::Record& rec = ns.records[idx];
   PAGODA_CHECK_MSG(!rec.active, "TaskTable entry reused while tracked");
   rec.active = true;
-  rec.arrival = arrival;
-  rec.slo = r.slo;
-  rec.d2h_bytes = r.d2h_bytes;
-  rec.cost = r.cost;
+  rec.uid = a.uid;
+  if (cfg_.task_timeout > 0) {
+    rec.deadline =
+        sim().after(cfg_.task_timeout, [this, node_index, idx, uid = a.uid] {
+          on_deadline(node_index, idx, uid);
+        });
+  }
+  rec.att = std::move(a);
+  ns.tracked += 1;
 }
 
 void Dispatcher::on_task_complete(int node_index, runtime::TaskId id) {
+  GpuNode& node = cluster_->node(node_index);
+  // A crashed device keeps running internally but nothing it produces
+  // reaches the host; the attempt is recovered by its deadline or by the
+  // watchdog's node-death sweep.
+  if (!node.alive()) return;
   NodeState& ns = node_state_[static_cast<std::size_t>(node_index)];
   const std::size_t idx = static_cast<std::size_t>(id - runtime::kFirstTaskId);
   PAGODA_CHECK(idx < ns.records.size());
-  NodeState::Record rec = ns.records[idx];
-  if (!rec.active) return;  // not a dispatcher task (foreign spawner)
+  if (!ns.records[idx].active) return;  // not a dispatcher task
+  if (fault_armed_) {
+    NodeState::Record& r = ns.records[idx];
+    if (cfg_.faults.wedges(r.uid, r.att.attempt)) {
+      // Slot wedge: the completion is swallowed. The TaskTable entry is
+      // already free GPU-side and may be reused, so the attempt moves out
+      // of records[] and waits for its deadline under its uid.
+      Wedged w{node_index, r.deadline, std::move(r.att)};
+      const std::uint64_t uid = r.uid;
+      ns.records[idx] = NodeState::Record{};
+      ns.tracked -= 1;  // GPU-side the work IS done; only the deadline is owed
+      wedged_.emplace(uid, std::move(w));
+      stats_.injected_wedges += 1;
+      fault_event("wedge");
+      return;
+    }
+    if (cfg_.faults.task_fails(r.uid, r.att.attempt)) {
+      Attempt a = std::move(r.att);
+      if (r.deadline != 0) sim().cancel(r.deadline);
+      ns.records[idx] = NodeState::Record{};
+      ns.tracked -= 1;
+      stats_.injected_task_faults += 1;
+      fault_event("task_fault");
+      ns.slots->release();
+      attempt_failed(node_index, std::move(a), fault::FailureCause::kTaskFault);
+      return;
+    }
+  }
+  NodeState::Record rec = std::move(ns.records[idx]);
   // Erase NOW: the GPU just freed the entry, so a successor may spawn into
   // it before this request's output copy drains.
   ns.records[idx] = NodeState::Record{};
+  ns.tracked -= 1;
+  if (rec.deadline != 0) sim().cancel(rec.deadline);
 
-  if (rec.d2h_bytes > 0) {
+  if (rec.att.r.d2h_bytes > 0) {
     cluster_->node(node_index).d2h_stream().memcpy_async(
         pcie::Direction::DeviceToHost, nullptr, nullptr,
-        static_cast<std::size_t>(rec.d2h_bytes),
-        [this, node_index, rec] { finalize(node_index, rec); });
+        static_cast<std::size_t>(rec.att.r.d2h_bytes),
+        [this, node_index, att = std::move(rec.att)] {
+          finalize(node_index, att);
+        });
   } else {
-    finalize(node_index, rec);
+    finalize(node_index, rec.att);
   }
 }
 
-void Dispatcher::finalize(int node_index, NodeState::Record rec) {
+void Dispatcher::on_deadline(int node_index, std::size_t idx,
+                             std::uint64_t uid) {
+  NodeState& ns = node_state_[static_cast<std::size_t>(node_index)];
+  if (const auto it = wedged_.find(uid); it != wedged_.end()) {
+    Attempt a = std::move(it->second.att);
+    wedged_.erase(it);
+    stats_.detected_timeouts += 1;
+    fault_event("timeout");
+    ns.slots->release();
+    attempt_failed(node_index, std::move(a), fault::FailureCause::kTimeout);
+    return;
+  }
+  NodeState::Record& rec = ns.records[idx];
+  if (!rec.active || rec.uid != uid) return;  // already resolved; stale timer
+  Attempt a = std::move(rec.att);
+  ns.records[idx] = NodeState::Record{};
+  ns.tracked -= 1;
+  stats_.detected_timeouts += 1;
+  fault_event("timeout");
+  ns.slots->release();
+  attempt_failed(node_index, std::move(a), fault::FailureCause::kTimeout);
+}
+
+void Dispatcher::attempt_failed(int node_index, Attempt a,
+                                fault::FailureCause cause) {
+  cluster_->node(node_index).abandon_outstanding(a.r.cost);
+  const sim::Time now = sim().now();
+  const int healthy = healthy_nodes();
+  const bool budget_left = a.attempt <= cfg_.retry.budget;
+  const bool slo_blown = a.r.slo > 0 && now - a.arrival > a.r.slo;
+  const bool degraded = healthy < cluster_->size();
+  // Graceful degradation: give up on requests whose deadline is already
+  // blown, and — while capacity is reduced — on the low-priority tier, so
+  // the surviving nodes' slots go to work that can still meet its SLO.
+  if (!budget_left || slo_blown || healthy == 0 ||
+      (degraded && a.r.priority < 0)) {
+    shed_request(std::move(a), cause);
+    return;
+  }
+  stats_.retries += 1;
+  fault_event("retry");
+  sim().spawn(retry_later(std::move(a)));
+}
+
+sim::Process Dispatcher::retry_later(Attempt a) {
+  co_await sim().delay(fault::backoff(cfg_.retry, a.uid, a.attempt));
+  a.attempt += 1;
+  dispatch_attempt(std::move(a));
+}
+
+void Dispatcher::shed_request(Attempt a, fault::FailureCause cause) {
+  stats_.shed += 1;
+  stats_.slot_releases += 1;  // the request's exactly-once resolution
+  if (a.r.slo > 0) stats_.slo_violations += 1;
+  (void)cause;
+  fault_event("shed");
+  in_flight_ -= 1;
+  maybe_drained();
+}
+
+void Dispatcher::finalize(int node_index, Attempt att) {
   const sim::Time now = sim().now();
   GpuNode& node = cluster_->node(node_index);
-  node.remove_outstanding(rec.cost);
+  node.remove_outstanding(att.r.cost);
   NodeState& ns = node_state_[static_cast<std::size_t>(node_index)];
   ns.slots->release();
   stats_.slot_releases += 1;
   stats_.completed += 1;
   in_flight_ -= 1;
 
-  const sim::Duration latency = now - rec.arrival;
+  const sim::Duration latency = now - att.arrival;
   latencies_us_.push_back(sim::to_microseconds(latency));
-  spans_.push_back(Span{rec.arrival, now});
-  if (rec.slo > 0 && latency > rec.slo) stats_.slo_violations += 1;
+  spans_.push_back(Span{att.arrival, now});
+  if (att.r.slo > 0 && latency > att.r.slo) {
+    stats_.slo_violations += 1;
+    stats_.slo_late += 1;
+  }
 
-  if (closed_ && in_flight_ == 0) drained_.notify_all();
+  maybe_drained();
 }
 
-void Dispatcher::close() { closed_ = true; }
+void Dispatcher::maybe_drained() {
+  if (closed_ && in_flight_ == 0) {
+    drained_.notify_all();
+    work_cv_.notify_all();  // let the watchdog loop observe the exit state
+  }
+}
+
+void Dispatcher::close() {
+  closed_ = true;
+  work_cv_.notify_all();
+}
 
 sim::Task<> Dispatcher::drain() {
   while (!(closed_ && in_flight_ == 0)) co_await drained_.wait();
 }
+
+// --- fault plane ------------------------------------------------------------
+
+int Dispatcher::healthy_nodes() const {
+  int n = 0;
+  for (int i = 0; i < cluster_->size(); ++i) {
+    if (cluster_->node(i).eligible()) n += 1;
+  }
+  return n;
+}
+
+void Dispatcher::inject_crash(const fault::CrashEvent& ev) {
+  GpuNode& node = cluster_->node(ev.node);
+  if (!node.alive()) return;
+  node.set_alive(false);
+  stats_.injected_crashes += 1;
+  fault_event("crash");
+  if (ev.recovers) {
+    sim().after(ev.recover_after, [this, n = ev.node] { recover_node(n); });
+  }
+}
+
+void Dispatcher::node_failed(int node_index) {
+  GpuNode& node = cluster_->node(node_index);
+  node.set_health(fault::NodeHealth::kDead);
+  node.cache_clear();  // its resident data died with it
+  stats_.detected_node_deaths += 1;
+  fault_event("node_dead");
+  NodeState& ns = node_state_[static_cast<std::size_t>(node_index)];
+  // Refuse queued acquirers (they wake ungranted and re-place themselves)
+  // and fail new acquires until recovery reopens the pool.
+  ns.slots->close();
+  // Sweep tracked in-flight attempts onto healthy peers, exactly once each,
+  // without charging their retry budget — the requests did nothing wrong.
+  for (std::size_t idx = 0; idx < ns.records.size(); ++idx) {
+    NodeState::Record& rec = ns.records[idx];
+    if (!rec.active) continue;
+    if (rec.deadline != 0) sim().cancel(rec.deadline);
+    Attempt a = std::move(rec.att);
+    ns.records[idx] = NodeState::Record{};
+    ns.tracked -= 1;
+    ns.slots->release();
+    node.abandon_outstanding(a.r.cost);
+    stats_.redispatched += 1;
+    fault_event("redispatch");
+    dispatch_attempt(std::move(a));
+  }
+  for (auto it = wedged_.begin(); it != wedged_.end();) {
+    if (it->second.node != node_index) {
+      ++it;
+      continue;
+    }
+    if (it->second.deadline != 0) sim().cancel(it->second.deadline);
+    Attempt a = std::move(it->second.att);
+    it = wedged_.erase(it);
+    ns.slots->release();
+    node.abandon_outstanding(a.r.cost);
+    stats_.redispatched += 1;
+    fault_event("redispatch");
+    dispatch_attempt(std::move(a));
+  }
+}
+
+void Dispatcher::recover_node(int node_index) {
+  GpuNode& node = cluster_->node(node_index);
+  if (node.alive()) return;
+  node.set_alive(true);
+  node.set_health(fault::NodeHealth::kHealthy);
+  node_state_[static_cast<std::size_t>(node_index)].slots->reopen();
+  if (watchdog_) watchdog_->reset(node_index);
+  stats_.nodes_recovered += 1;
+  fault_event("node_recovered");
+}
+
+void Dispatcher::drain_node(int node_index) {
+  GpuNode& node = cluster_->node(node_index);
+  if (node.health() == fault::NodeHealth::kDead) return;
+  node.set_health(fault::NodeHealth::kDraining);
+  fault_event("drain_node");
+}
+
+void Dispatcher::reinstate_node(int node_index) {
+  GpuNode& node = cluster_->node(node_index);
+  if (!node.alive()) return;  // still crashed: recovery will reinstate
+  node.set_health(fault::NodeHealth::kHealthy);
+  if (watchdog_) watchdog_->reset(node_index);
+  fault_event("reinstate_node");
+}
+
+void Dispatcher::set_bandwidth_scale(int node_index, double scale) {
+  const auto apply = [scale](GpuNode& n) {
+    pcie::PcieBus& bus = n.session().pcie();
+    bus.link(pcie::Direction::HostToDevice).set_bandwidth_scale(scale);
+    bus.link(pcie::Direction::DeviceToHost).set_bandwidth_scale(scale);
+  };
+  if (node_index < 0) {
+    for (int i = 0; i < cluster_->size(); ++i) apply(cluster_->node(i));
+  } else {
+    apply(cluster_->node(node_index));
+  }
+}
+
+void Dispatcher::fault_event(std::string_view name) {
+  if (collector_ == nullptr || !collector_->timeline_enabled()) return;
+  if (fault_track_ < 0) fault_track_ = collector_->timeline().track("fault");
+  collector_->timeline().instant(fault_track_, name, sim().now());
+}
+
+// --- accounting -------------------------------------------------------------
 
 double Dispatcher::load_imbalance() const {
   std::int64_t lo = cluster_->node(0).completed();
@@ -191,7 +539,9 @@ void Dispatcher::export_metrics(obs::MetricsRegistry& m) const {
   m.counter("cluster.requests.admitted").set(stats_.admitted);
   m.counter("cluster.requests.dropped").set(stats_.dropped);
   m.counter("cluster.requests.completed").set(stats_.completed);
+  m.counter("cluster.requests.shed").set(stats_.shed);
   m.counter("cluster.slo.violations").set(stats_.slo_violations);
+  m.counter("cluster.slo.late").set(stats_.slo_late);
   m.counter("cluster.affinity.hits").set(stats_.affinity_hits);
   m.counter("cluster.h2d.bytes_copied").set(stats_.h2d_bytes_copied);
   if (stats_.offered > 0) {
@@ -212,9 +562,26 @@ void Dispatcher::export_metrics(obs::MetricsRegistry& m) const {
     obs::Histogram& h = m.histogram("cluster.latency_us");
     for (const double v : latencies_us_) h.add(v);
   }
+  if (fault_armed_) {
+    m.counter("fault.injected.task_faults").set(stats_.injected_task_faults);
+    m.counter("fault.injected.transfer_faults")
+        .set(stats_.injected_transfer_faults);
+    m.counter("fault.injected.wedges").set(stats_.injected_wedges);
+    m.counter("fault.injected.crashes").set(stats_.injected_crashes);
+    m.counter("fault.detected.timeouts").set(stats_.detected_timeouts);
+    m.counter("fault.detected.node_deaths").set(stats_.detected_node_deaths);
+    m.counter("fault.retries").set(stats_.retries);
+    m.counter("fault.redispatched").set(stats_.redispatched);
+    m.counter("fault.nodes.recovered").set(stats_.nodes_recovered);
+    m.counter("fault.slot_acquires").set(stats_.slot_acquires);
+    if (watchdog_ != nullptr) {
+      m.counter("fault.watchdog.probes").set(watchdog_->probes());
+    }
+  }
 }
 
 void Dispatcher::install_sampler(obs::Collector& collector) {
+  collector_ = &collector;
   collector.add_sampler(sim(), [this, &collector](sim::Time now) {
     obs::MetricsRegistry& m = collector.metrics();
     m.stat("cluster.in_flight").add(static_cast<double>(in_flight_));
@@ -223,11 +590,26 @@ void Dispatcher::install_sampler(obs::Collector& collector) {
       m.stat(dev_key(i, "outstanding"))
           .add(static_cast<double>(cluster_->node(i).outstanding()));
     }
+    if (fault_armed_) {
+      // The watchdog's raw signal, recorded so a profile shows the flatline
+      // of a crashed node next to the detection instant on the fault track.
+      for (int i = 0; i < cluster_->size(); ++i) {
+        m.stat(dev_key(i, "heartbeat"))
+            .add(static_cast<double>(cluster_->node(i).heartbeat()));
+      }
+    }
     if (collector.timeline_enabled()) {
       collector.timeline().counter("cluster.in_flight", now,
                                    static_cast<double>(in_flight_));
       collector.timeline().counter("cluster.backlog", now,
                                    static_cast<double>(backlog_));
+      if (fault_armed_) {
+        for (int i = 0; i < cluster_->size(); ++i) {
+          collector.timeline().counter(
+              dev_key(i, "heartbeat"), now,
+              static_cast<double>(cluster_->node(i).heartbeat()));
+        }
+      }
     }
   });
 }

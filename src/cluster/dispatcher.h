@@ -1,25 +1,47 @@
 // The cluster dispatcher: one spawn-API front door over N per-device Pagoda
 // runtimes.
 //
-// Request lifecycle (state machine; every admitted request walks it exactly
-// once):
+// Request lifecycle (state machine; every admitted request walks it to
+// exactly one terminal state, DONE or SHED):
 //
-//   offer() ── queue bound exceeded ──> DROPPED  (counted as an SLO miss)
+//   offer() ── queue bound exceeded / no healthy node ──> DROPPED
 //      │
-//      ▼ placement policy picks a node (at arrival, so load-aware policies
-//      │ see queued work), node.outstanding++
+//      ▼ placement policy picks a healthy node (at arrival, so load-aware
+//      │ policies see queued work), node.outstanding++
 //   QUEUED ── co_await node slot (backpressure: at most `capacity` requests
-//      │      own TaskTable entries or copies per device)
+//      │      own TaskTable entries or copies per device). A slot grant is
+//      │      refused when the node died while queueing -> re-placed.
 //      ▼
 //   COPYING ── H2D input copy on the node's data stream, skipped on a
-//      │       data-affinity cache hit
+//      │       data-affinity cache hit. A corrupt transfer fails the attempt.
 //      ▼
-//   EXECUTING ── runtime::task_spawn + GPU-side completion
+//   EXECUTING ── runtime::task_spawn + GPU-side completion, bounded by the
+//      │         per-task deadline when one is configured. Injected task
+//      │         faults, wedges, timeouts and node death fail the attempt.
 //      ▼
 //   DRAINING ── D2H output copy (if any)
 //      ▼
 //   DONE ── latency = now - arrival; SLO check; slot released exactly once;
 //           node.outstanding--
+//
+//   failed attempt ── retry budget left, SLO not blown ──> deterministic
+//      │              exponential backoff + jitter, then re-placed (QUEUED)
+//      ▼ otherwise
+//   SHED ── deliberate graceful degradation; counted, never silently lost.
+//
+// Fault plane (all off by default; a disabled plan leaves the event stream
+// byte-identical to the pre-fault dispatcher):
+//  * injection  — DispatcherConfig::faults (see fault/plan.h) arms task
+//    faults, transfer corruption, slot wedges, bandwidth-degradation windows
+//    and whole-node crashes, all decided by order-independent seeded hashes;
+//  * detection  — per-attempt deadlines (task_timeout) plus a watchdog
+//    process probing each node's MasterKernel heartbeat; a node whose
+//    signature freezes while holding work is declared dead exactly once;
+//  * recovery   — per-request retries with budget, re-dispatch of a dead
+//    node's in-flight work to healthy peers (no budget charge), node
+//    drain/reinstate lifecycle, and priority-aware shedding when capacity
+//    shrinks. Recovery never throws: failures flow through
+//    fault::FailureCause values (tools/check.sh greps for naked throws).
 //
 // Admission control is two-layered: the per-node slot semaphore bounds
 // in-flight work per device at its TaskTable size (backpressure), and the
@@ -28,11 +50,12 @@
 // queue.
 //
 // All accounting (latency percentiles, violation rate, per-device load
-// imbalance) is virtual-time derived and exported into an
+// imbalance, fault.* counters) is virtual-time derived and exported into an
 // obs::MetricsRegistry, so `--metrics` / `--profile` work unchanged.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <span>
 #include <vector>
@@ -40,6 +63,10 @@
 #include "cluster/cluster.h"
 #include "cluster/placement.h"
 #include "cluster/request.h"
+#include "fault/fault.h"
+#include "fault/plan.h"
+#include "fault/retry.h"
+#include "fault/watchdog.h"
 #include "sim/sync.h"
 
 namespace pagoda::obs {
@@ -57,6 +84,18 @@ struct DispatcherConfig {
   sim::Duration default_slo = 0;
   /// Host cost charged per input/output copy setup.
   host::HostCosts host{};
+
+  // --- fault plane (all disabled by default) ------------------------------
+  /// What to inject; a default-constructed plan injects nothing.
+  fault::FaultPlan faults{};
+  /// Retry budget + backoff shape for failed attempts.
+  fault::RetryConfig retry{};
+  /// Per-attempt execution deadline measured from task spawn; 0 = none.
+  /// Plans that can wedge or crash REQUIRE a deadline (checked at
+  /// construction): a swallowed completion is otherwise unrecoverable.
+  sim::Duration task_timeout = 0;
+  /// Heartbeat probing cadence and death threshold.
+  fault::WatchdogConfig watchdog{};
 };
 
 class Dispatcher {
@@ -64,12 +103,29 @@ class Dispatcher {
   struct Stats {
     std::int64_t offered = 0;
     std::int64_t admitted = 0;
-    std::int64_t dropped = 0;
+    std::int64_t dropped = 0;     // refused at offer(); never admitted
     std::int64_t completed = 0;
-    std::int64_t slo_violations = 0;  // late completions + drops
+    std::int64_t shed = 0;        // admitted, then deliberately failed
+    std::int64_t slo_late = 0;    // completions past their deadline
+    std::int64_t slo_violations = 0;  // slo_late + SLO-carrying drops/sheds
     std::int64_t affinity_hits = 0;   // H2D copies skipped
     std::int64_t h2d_bytes_copied = 0;
-    std::int64_t slot_releases = 0;   // must equal admitted after drain()
+    /// Request-level exactly-once resolution count: == completed + shed,
+    /// and == admitted after drain(), under every fault path.
+    std::int64_t slot_releases = 0;
+    /// Attempt-level semaphore grants (== slot_releases when faults are off;
+    /// larger under retries — each extra attempt claims its own slot).
+    std::int64_t slot_acquires = 0;
+    // --- fault plane ------------------------------------------------------
+    std::int64_t retries = 0;          // backoff retries (budget-charged)
+    std::int64_t redispatched = 0;     // moved off a dead node (no charge)
+    std::int64_t injected_task_faults = 0;
+    std::int64_t injected_transfer_faults = 0;
+    std::int64_t injected_wedges = 0;
+    std::int64_t injected_crashes = 0;
+    std::int64_t detected_timeouts = 0;
+    std::int64_t detected_node_deaths = 0;
+    std::int64_t nodes_recovered = 0;
   };
 
   Dispatcher(Cluster& cluster, std::unique_ptr<PlacementPolicy> policy,
@@ -84,19 +140,28 @@ class Dispatcher {
   /// Declares the arrival stream finished; drain() can then complete.
   void close();
 
-  /// Waits until every admitted request reached DONE and close() was called.
+  /// Waits until every admitted request reached DONE or SHED and close()
+  /// was called.
   sim::Task<> drain();
+
+  // --- node lifecycle (administrative) ------------------------------------
+  /// Stops placing new work on the node; in-flight work finishes normally.
+  void drain_node(int node_index);
+  /// Returns a drained (or recovered) node to service. No-op while the
+  /// injection plane still has the node crashed.
+  void reinstate_node(int node_index);
 
   const Stats& stats() const { return stats_; }
   const PlacementPolicy& policy() const { return *policy_; }
   Cluster& cluster() { return *cluster_; }
 
-  /// Node chosen for each admitted request, in admission order — the
-  /// determinism tests compare this sequence across reruns.
+  /// Node chosen for each admitted request at ADMISSION, in admission order
+  /// (retry re-placements are not recorded here) — the determinism tests
+  /// compare this sequence across reruns.
   const std::vector<int>& placements() const { return placements_; }
 
   /// Attained latency (arrival -> output landed) per completed request, us,
-  /// in completion order.
+  /// in completion order. Includes backoff + re-execution time of retries.
   std::span<const double> latencies_us() const { return latencies_us_; }
 
   /// Arrival/completion spans of completed requests (timeline export).
@@ -106,41 +171,82 @@ class Dispatcher {
   };
   std::span<const Span> spans() const { return spans_; }
 
-  /// Requests admitted and not yet DONE, cluster-wide (sampler signal).
+  /// Requests admitted and not yet DONE/SHED, cluster-wide (sampler signal).
   int in_flight() const { return in_flight_; }
+
+  /// Free slot-semaphore capacity of a node; == node capacity after drain()
+  /// once every grant has been returned (the chaos test pins this).
+  std::int64_t free_slots(int node_index) const {
+    return node_state_[static_cast<std::size_t>(node_index)]
+        .slots->available();
+  }
+
+  /// The watchdog, when the fault plane is armed (nullptr otherwise).
+  const fault::Watchdog* watchdog() const { return watchdog_.get(); }
 
   /// Max-min spread of per-device completed counts over their mean
   /// (0 = perfectly balanced, 0 when nothing completed).
   double load_imbalance() const;
 
-  /// Final counters + latency distribution into `m` under `cluster.*`.
+  /// Final counters + latency distribution into `m` under `cluster.*`
+  /// (plus `fault.*` when the fault plane is armed).
   void export_metrics(obs::MetricsRegistry& m) const;
 
   /// Registers a passive per-tick sampler (queue depth, per-device
-  /// outstanding) with the collector. Call before the run starts.
+  /// outstanding, heartbeats when faults are armed) with the collector.
+  /// Call before the run starts.
   void install_sampler(obs::Collector& collector);
 
  private:
+  /// One placement of a request on one node. The request's identity (uid,
+  /// arrival) is fixed at admission; `attempt` counts executions (1-based)
+  /// and keys every fault/backoff decision.
+  struct Attempt {
+    Request r;
+    sim::Time arrival = 0;
+    int attempt = 1;
+    std::uint64_t uid = 0;
+  };
+
   struct NodeState {
     std::unique_ptr<sim::Semaphore> slots;
     /// In-flight request records indexed by TaskTable entry (id-relative):
-    /// entry reuse is safe because a record is erased at DONE, before the
-    /// slot semaphore lets the next request claim the entry.
+    /// entry reuse is safe because a record is erased at resolution, before
+    /// the slot semaphore lets the next request claim the entry.
     struct Record {
       bool active = false;
-      sim::Time arrival = 0;
-      sim::Duration slo = 0;
-      std::int64_t d2h_bytes = 0;
-      double cost = 1.0;
+      std::uint64_t uid = 0;
+      sim::EventId deadline = 0;  // 0 = none armed
+      Attempt att;
     };
     std::vector<Record> records;
+    /// Active records only — attempts spawned and still owed GPU progress.
+    /// This is the watchdog's "holds work" signal, so wedged attempts are
+    /// deliberately excluded: their GPU work already finished (the
+    /// completion was swallowed), no further progress is expected, and
+    /// counting them would turn every wedge on an idle node into a
+    /// spurious node death before the task deadline could recover it.
+    int tracked = 0;
     /// Spawn activity signal for the node's flusher (see flush_timer()).
     std::uint64_t spawn_epoch = 0;
     std::unique_ptr<sim::Condition> activity;
   };
 
+  /// A wedged attempt: its TaskTable entry completed GPU-side but the
+  /// completion was swallowed, so the entry may be reused while the attempt
+  /// still awaits its deadline — it lives here, keyed by uid, not in
+  /// records[]. (std::map: deterministic sweep order on node death.)
+  struct Wedged {
+    int node = -1;
+    sim::EventId deadline = 0;
+    Attempt att;
+  };
+
   sim::Simulation& sim() { return cluster_->sim(); }
-  sim::Process serve(Request r, int node_index);
+  bool fault_armed() const { return fault_armed_; }
+  int healthy_nodes() const;
+
+  sim::Process serve(Attempt a, int node_index);
   /// Pagoda's release chain frees a TaskTable entry only when a successor
   /// spawns into the column or the CPU flushes. Under open-loop arrivals a
   /// lull would strand each node's most recent task forever, so this
@@ -148,21 +254,47 @@ class Dispatcher {
   /// the paper's CPU waiter (flush + lazy aggregate copy-backs) until the
   /// node drains.
   sim::Process flush_timer(int node_index);
+  /// Probes every non-dead node's liveness signature while work is in
+  /// flight; parks when the cluster idles so it never keeps the event queue
+  /// alive on its own.
+  sim::Process watchdog_loop();
+  sim::Process retry_later(Attempt a);
+
+  void dispatch_attempt(Attempt a);
   void on_task_complete(int node_index, runtime::TaskId id);
-  void finalize(int node_index, NodeState::Record rec);
+  void on_deadline(int node_index, std::size_t idx, std::uint64_t uid);
+  /// Attempt bookkeeping is already unwound (slot released, record erased)
+  /// when this runs; it only un-counts node load and routes retry-vs-shed.
+  void attempt_failed(int node_index, Attempt a, fault::FailureCause cause);
+  void shed_request(Attempt a, fault::FailureCause cause);
+  void finalize(int node_index, Attempt att);
+
+  void inject_crash(const fault::CrashEvent& ev);
+  void node_failed(int node_index);
+  void recover_node(int node_index);
+  void set_bandwidth_scale(int node_index, double scale);
+  void fault_event(std::string_view name);
+  void maybe_drained();
 
   Cluster* cluster_;
   std::unique_ptr<PlacementPolicy> policy_;
   DispatcherConfig cfg_;
+  bool fault_armed_ = false;
   std::vector<NodeState> node_state_;
+  std::map<std::uint64_t, Wedged> wedged_;
+  std::unique_ptr<fault::Watchdog> watchdog_;
   Stats stats_;
   std::vector<int> placements_;
   std::vector<double> latencies_us_;
   std::vector<Span> spans_;
+  std::uint64_t next_uid_ = 0;
   int in_flight_ = 0;
   int backlog_ = 0;  // admitted, waiting for a node slot
   bool closed_ = false;
   sim::Condition drained_;
+  sim::Condition work_cv_;  // wakes the parked watchdog on new work
+  obs::Collector* collector_ = nullptr;
+  int fault_track_ = -1;  // lazily interned timeline track
 };
 
 }  // namespace pagoda::cluster

@@ -7,11 +7,15 @@
 namespace pagoda::cluster {
 namespace {
 
-/// Lowest-index node minimizing outstanding requests.
+/// Lowest-index *eligible* node minimizing outstanding requests; -1 when the
+/// whole fleet is dead/draining. With every node healthy (the fault-free
+/// case) this reduces exactly to the original scan from node 0.
 int least_outstanding_node(const Cluster& cluster) {
-  int best = 0;
-  for (int i = 1; i < cluster.size(); ++i) {
-    if (cluster.node(i).outstanding() < cluster.node(best).outstanding()) {
+  int best = -1;
+  for (int i = 0; i < cluster.size(); ++i) {
+    if (!cluster.node(i).eligible()) continue;
+    if (best < 0 ||
+        cluster.node(i).outstanding() < cluster.node(best).outstanding()) {
       best = i;
     }
   }
@@ -22,8 +26,13 @@ class RoundRobin final : public PlacementPolicy {
  public:
   std::string_view name() const override { return "round-robin"; }
   int pick(const Cluster& cluster, const Request&) override {
-    const int n = next_++ % cluster.size();
-    return n;
+    // Skip ineligible nodes, at most one full rotation. The cursor advances
+    // once per probe so a fault-free pick is byte-identical to the original.
+    for (int probes = 0; probes < cluster.size(); ++probes) {
+      const int n = next_++ % cluster.size();
+      if (cluster.node(n).eligible()) return n;
+    }
+    return -1;
   }
 
  private:
@@ -42,11 +51,12 @@ class LeastLoaded final : public PlacementPolicy {
  public:
   std::string_view name() const override { return "least-loaded"; }
   int pick(const Cluster& cluster, const Request&) override {
-    int best = 0;
-    double best_score = score(cluster.node(0));
-    for (int i = 1; i < cluster.size(); ++i) {
+    int best = -1;
+    double best_score = 0.0;
+    for (int i = 0; i < cluster.size(); ++i) {
+      if (!cluster.node(i).eligible()) continue;
       const double s = score(cluster.node(i));
-      if (s < best_score) {
+      if (best < 0 || s < best_score) {
         best = i;
         best_score = s;
       }
@@ -74,16 +84,20 @@ class DataAffinity final : public PlacementPolicy {
     if (r.data_key == 0) return least_outstanding_node(cluster);
     // A node already holding the data wins outright (no copy at all).
     for (int i = 0; i < cluster.size(); ++i) {
-      if (cluster.node(i).cache_contains(r.data_key)) return i;
+      if (cluster.node(i).eligible() &&
+          cluster.node(i).cache_contains(r.data_key)) {
+        return i;
+      }
     }
     // Cold key: a stable home node, so future requests for the same key hit.
     const int home =
         static_cast<int>(hash_index(0xAFF1D17AULL, r.data_key) %
                          static_cast<std::uint64_t>(cluster.size()));
-    // Saturated home: spill to the least-outstanding node rather than queue
-    // behind a full TaskTable (the spill target caches the key, so the
-    // key's home effectively migrates with the load).
-    if (cluster.node(home).outstanding() >= cluster.node(home).capacity()) {
+    // Saturated or unhealthy home: spill to the least-outstanding node
+    // rather than queue behind a full TaskTable or target a dead device (the
+    // spill target caches the key, so the key's home effectively migrates).
+    if (!cluster.node(home).eligible() ||
+        cluster.node(home).outstanding() >= cluster.node(home).capacity()) {
       return least_outstanding_node(cluster);
     }
     return home;

@@ -31,7 +31,8 @@ class PlacementPolicy {
  public:
   virtual ~PlacementPolicy() = default;
   virtual std::string_view name() const = 0;
-  /// Node index for this request. Must not mutate the cluster.
+  /// Node index for this request, or -1 when no eligible (healthy) node
+  /// exists — the dispatcher then drops/sheds. Must not mutate the cluster.
   virtual int pick(const Cluster& cluster, const Request& r) = 0;
 };
 

@@ -26,6 +26,10 @@ struct Request {
   /// load-aware placement uses it to see work skew that per-node request
   /// counts cannot.
   double cost = 1.0;
+  /// Graceful-degradation tier: when cluster capacity shrinks (a node died
+  /// and its work is being re-absorbed), negative-priority requests are shed
+  /// on first failure instead of retried. 0 = normal.
+  int priority = 0;
   /// Caller-assigned index (workload task id, packet number, ...).
   int index = -1;
 };

@@ -1,0 +1,110 @@
+// FaultPlan: the deterministic fault plane.
+//
+// A plan is parsed once from a compact spec string (the pagoda_cli --faults=
+// value) and then consulted through pure decision functions. Every decision
+// is a stateless hash of (plan seed, salt, stable key) — never generator
+// state threaded through the run — so the injected fault set is independent
+// of event interleaving: request 17's third attempt fails (or not)
+// regardless of what the other requests are doing. That property is what
+// makes "same seed + same plan -> byte-identical metrics" testable.
+//
+// Spec grammar (comma-separated items; fields colon-separated; times in µs):
+//   task:P                      per-attempt task-kernel failure probability
+//   xfer:P                      per-payload-copy transfer fault probability
+//   wedge:P                     per-attempt slot wedge (completion swallowed;
+//                               only the task deadline recovers it)
+//   crash:NODE:T[:RECOVER]      node NODE dies at T µs; optionally comes
+//                               back RECOVER µs later (drain/reinstate)
+//   degrade:T:DUR:FACTOR[:NODE] PCIe bandwidth scaled by FACTOR during
+//                               [T, T+DUR) µs on NODE (all nodes if omitted)
+//   seed:N                      decision seed (default 0: derive from run)
+// Example: --faults=task:0.01,crash:1:2000:3000,degrade:500:1000:0.25
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time_types.h"
+
+namespace pagoda::fault {
+
+struct CrashEvent {
+  int node = -1;
+  sim::Time at = 0;
+  bool recovers = false;
+  sim::Duration recover_after = 0;
+};
+
+struct DegradeWindow {
+  sim::Time at = 0;
+  sim::Duration duration = 0;
+  double factor = 1.0;
+  int node = -1;  // -1: every node
+};
+
+class FaultPlan {
+ public:
+  /// Parses a spec string. Returns nullopt and fills *error on bad input.
+  /// An empty spec parses to a disabled plan.
+  static std::optional<FaultPlan> parse(const std::string& spec,
+                                        std::string* error);
+
+  /// True if any fault source is armed; a disabled plan must inject nothing.
+  bool enabled() const {
+    return task_fault_rate > 0.0 || transfer_fault_rate > 0.0 ||
+           wedge_rate > 0.0 || !crashes.empty() || !degrades.empty();
+  }
+
+  /// True if the plan can strand an attempt with no completion event
+  /// (wedge or crash) — such plans require a per-task deadline to recover.
+  bool needs_deadline() const {
+    return wedge_rate > 0.0 || !crashes.empty();
+  }
+
+  // --- decision functions (pure, order-independent) ------------------------
+  /// Does attempt `attempt` of request `uid` suffer a task-kernel fault?
+  bool task_fails(std::uint64_t uid, int attempt) const {
+    return decide(kTaskSalt, attempt_key(uid, attempt), task_fault_rate);
+  }
+
+  /// Does attempt `attempt` of request `uid` wedge (completion swallowed)?
+  bool wedges(std::uint64_t uid, int attempt) const {
+    return decide(kWedgeSalt, attempt_key(uid, attempt), wedge_rate);
+  }
+
+  /// Does the `seq`-th payload transfer on `node` corrupt? The caller keeps
+  /// a per-node issue counter so the key is stable under interleaving.
+  bool transfer_corrupts(int node, std::uint64_t seq) const {
+    return decide(kXferSalt ^ (static_cast<std::uint64_t>(node) << 32), seq,
+                  transfer_fault_rate);
+  }
+
+  double task_fault_rate = 0.0;
+  double transfer_fault_rate = 0.0;
+  double wedge_rate = 0.0;
+  std::vector<CrashEvent> crashes;
+  std::vector<DegradeWindow> degrades;
+  std::uint64_t seed = 0;
+
+ private:
+  static constexpr std::uint64_t kTaskSalt = 0x7A5CF001ULL;
+  static constexpr std::uint64_t kWedgeSalt = 0x7A5CF002ULL;
+  static constexpr std::uint64_t kXferSalt = 0x7A5CF003ULL;
+
+  /// Attempts are numbered from 1; 63 retries per request is far beyond any
+  /// sane budget, so uid*64+attempt keys never collide.
+  static constexpr std::uint64_t attempt_key(std::uint64_t uid, int attempt) {
+    return uid * 64 + static_cast<std::uint64_t>(attempt);
+  }
+
+  bool decide(std::uint64_t salt, std::uint64_t key, double rate) const {
+    if (rate <= 0.0) return false;
+    const std::uint64_t h = hash_index(seed ^ salt, key);
+    return static_cast<double>(h >> 11) * 0x1.0p-53 < rate;
+  }
+};
+
+}  // namespace pagoda::fault

@@ -1,0 +1,39 @@
+#include "fault/watchdog.h"
+
+namespace pagoda::fault {
+
+Watchdog::Watchdog(const WatchdogConfig& cfg, int num_nodes) : cfg_(cfg) {
+  PAGODA_CHECK(cfg.miss_threshold >= 1);
+  PAGODA_CHECK(cfg.probe_period > 0);
+  PAGODA_CHECK(num_nodes >= 1);
+  nodes_.resize(static_cast<std::size_t>(num_nodes));
+}
+
+bool Watchdog::observe(int node, const NodeSig& sig, bool has_work) {
+  NodeState& st = nodes_[idx(node)];
+  probes_ += 1;
+  if (st.dead) return false;  // already declared; transition fires once
+  const bool frozen = st.seen && sig == st.last;
+  st.last = sig;
+  st.seen = true;
+  if (frozen && has_work) {
+    st.misses += 1;
+    if (st.misses >= cfg_.miss_threshold) {
+      st.dead = true;
+      deaths_ += 1;
+      return true;
+    }
+  } else {
+    st.misses = 0;
+  }
+  return false;
+}
+
+void Watchdog::reset(int node) {
+  NodeState& st = nodes_[idx(node)];
+  st.misses = 0;
+  st.dead = false;
+  st.seen = false;
+}
+
+}  // namespace pagoda::fault

@@ -56,6 +56,27 @@ class Stream {
     pump();
   }
 
+  /// Checked variant: completion reports transfer integrity via the bus's
+  /// fault hook (see PcieBus::copy_checked). Without a hook armed this is
+  /// event-for-event identical to memcpy_async.
+  void memcpy_async_checked(pcie::Direction dir, void* dst, const void* src,
+                            std::size_t bytes,
+                            std::function<void(bool ok)> on_done) {
+    Op op;
+    op.is_memcpy = true;
+    op.dir = dir;
+    op.start = [this, dir, dst, src, bytes,
+                cb = std::move(on_done)](std::function<void()> done) {
+      dev_->pcie().copy_checked(dir, dst, src, bytes,
+                                [cb, done = std::move(done)](bool ok) {
+                                  if (cb) cb(ok);
+                                  done();
+                                });
+    };
+    ops_.push_back(std::move(op));
+    pump();
+  }
+
   /// Enqueues a kernel launch; the stream advances when the grid retires.
   /// Returns a trigger that fires at grid completion (cudaEvent-like).
   std::shared_ptr<sim::Trigger> kernel_async(KernelLaunchParams p) {

@@ -167,6 +167,7 @@ void MasterKernel::on_entry_copied(TaskId id) {
 sim::Process MasterKernel::scheduler_warp(Mtb& mtb) {
   while (running_) {
     const std::uint64_t seq = mtb.sched_seq;
+    heartbeats_ += 1;
     const bool progress = co_await scan_once(mtb);
     if (!running_) break;
     if (!progress && mtb.sched_seq == seq) {
@@ -385,6 +386,7 @@ sim::Process MasterKernel::executor_warp(Mtb& mtb, int slot_index) {
     if (mtb.done_ctr[static_cast<std::size_t>(row)] == 0) {
       entry.ready = kReadyFree;  // frees the entry; the CPU learns lazily
       tasks_completed_ += 1;
+      heartbeats_ += 1;
       trace(TraceKind::kCompleted, gpu_table_.id_of(mtb.column, row),
             mtb.column);
       if (completion_observer_) {

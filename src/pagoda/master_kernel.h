@@ -122,6 +122,11 @@ class MasterKernel {
   // --- statistics ---------------------------------------------------------
   std::int64_t tasks_scheduled() const { return tasks_scheduled_; }
   std::int64_t tasks_completed() const { return tasks_completed_; }
+  /// Liveness signature for host-side watchdogs: bumps whenever a scheduler
+  /// warp makes a pass or a task completes. A wedged/crashed device's
+  /// heartbeat freezes, which is exactly what the fault layer's watchdog
+  /// samples for. Pure counter — reading or incrementing it emits no events.
+  std::int64_t heartbeats() const { return heartbeats_; }
   std::int64_t warps_dispatched() const { return warps_dispatched_; }
   std::int64_t shmem_blocks_swept() const { return shmem_blocks_swept_; }
 
@@ -226,6 +231,7 @@ class MasterKernel {
 
   std::int64_t tasks_scheduled_ = 0;
   std::int64_t tasks_completed_ = 0;
+  std::int64_t heartbeats_ = 0;
   std::int64_t warps_dispatched_ = 0;
   std::int64_t shmem_blocks_swept_ = 0;
   CompletionObserver completion_observer_;

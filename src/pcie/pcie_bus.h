@@ -65,6 +65,37 @@ class PcieBus {
                        });
   }
 
+  /// Fault-injection hook for *payload* transfers (the serving layer's data
+  /// copies — never the TaskTable protocol stream): consulted once per
+  /// checked copy at issue time; returning true marks that copy corrupt.
+  /// The corrupt transfer still occupies its full wire slot (the bytes
+  /// crossed the bus; the end-to-end CRC just failed), but the payload does
+  /// NOT land, exactly like a DMA engine dropping a poisoned TLP.
+  using TransferFaultFn = std::function<bool(Direction, std::int64_t bytes)>;
+  void set_transfer_fault_fn(TransferFaultFn fn) { fault_fn_ = std::move(fn); }
+
+  std::int64_t transfer_faults() const { return transfer_faults_; }
+
+  /// Timed copy whose completion reports transfer integrity. With no fault
+  /// hook armed this is exactly copy() (ok == true always) — same events,
+  /// same wire accounting — so fault-free runs are byte-identical.
+  void copy_checked(Direction dir, void* dst, const void* src,
+                    std::size_t bytes, std::function<void(bool ok)> on_done) {
+    bool ok = true;
+    if (fault_fn_ && fault_fn_(dir, static_cast<std::int64_t>(bytes))) {
+      ok = false;
+      transfer_faults_ += 1;
+    }
+    link(dir).transfer(static_cast<std::int64_t>(bytes),
+                       [dst, src, bytes, ok, fn = std::move(on_done)]() mutable {
+                         if (ok && dst != nullptr && src != nullptr &&
+                             bytes > 0) {
+                           std::memcpy(dst, src, bytes);
+                         }
+                         fn(ok);
+                       });
+  }
+
   /// Awaitable form of copy().
   auto copy(Direction dir, void* dst, const void* src, std::size_t bytes) {
     struct Awaiter {
@@ -128,6 +159,8 @@ class PcieBus {
   sim::Link h2d_;
   sim::Link d2h_;
   std::uint64_t reorder_counter_ = 0;
+  TransferFaultFn fault_fn_;
+  std::int64_t transfer_faults_ = 0;
 };
 
 }  // namespace pagoda::pcie

@@ -54,7 +54,7 @@ class Link {
     const Time start = std::max(sim_->now(), next_free_);
     const auto wire = std::max(
         gap_, static_cast<Duration>(static_cast<double>(bytes) * 1e12 /
-                                    bandwidth_));
+                                    (bandwidth_ * bandwidth_scale_)));
     next_free_ = start + wire;
     busy_integral_ += wire;
     transfers_started_ += 1;
@@ -87,6 +87,16 @@ class Link {
   Duration latency() const { return latency_; }
   double bandwidth() const { return bandwidth_; }
 
+  /// Transient degradation (fault injection): scales the effective bandwidth
+  /// of transfers issued while the scale is in force. 1.0 = nominal; e.g.
+  /// 0.25 models a link retraining at quarter width. Transfers already on
+  /// the wire keep their original service time.
+  void set_bandwidth_scale(double scale) {
+    PAGODA_CHECK(scale > 0.0);
+    bandwidth_scale_ = scale;
+  }
+  double bandwidth_scale() const { return bandwidth_scale_; }
+
   /// Total wire-occupied time so far (utilization = this / elapsed).
   Duration busy_time() const { return busy_integral_; }
 
@@ -102,6 +112,7 @@ class Link {
  private:
   Simulation* sim_;
   double bandwidth_;
+  double bandwidth_scale_ = 1.0;
   Duration latency_;
   Duration gap_;
   Time next_free_ = 0;

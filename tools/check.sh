@@ -41,6 +41,58 @@ cluster_smoke() {
     grep -q "poisson:RATE"
 }
 
+fault_smoke() {
+  local dir="$1"
+  echo "==> fault-injection smoke ${dir}"
+  # A nonzero plan — 5% task faults, a wedge source, and a mid-run node
+  # crash with recovery — must complete or deliberately shed every admitted
+  # request exactly once (the dispatcher CHECKs its ledger on drain).
+  "${dir}/tools/pagoda_cli" --workload=MM --tasks=512 --gpus=2 \
+      --policy=least-loaded --arrival=poisson:150000 --slo-us=5000 \
+      --faults=task:0.05,wedge:0.01,crash:1:2000:3000 \
+      --task-timeout-us=3000 --metrics >/dev/null
+  # Compute mode verifies retried tasks against the CPU references.
+  "${dir}/tools/pagoda_cli" --workload=MM --tasks=128 --gpus=2 --compute \
+      --faults=task:0.1,xfer:0.05 --task-timeout-us=3000 >/dev/null
+  # Bad fault specs must fail fast and print the grammar.
+  if "${dir}/tools/pagoda_cli" --workload=MM --gpus=2 --faults=bogus:1 \
+      >/dev/null 2>&1; then
+    echo "error: bad --faults unexpectedly accepted" >&2
+    exit 1
+  fi
+  ("${dir}/tools/pagoda_cli" --workload=MM --gpus=2 --faults=bogus:1 2>&1 || true) |
+    grep -q "valid forms"
+  # Wedge/crash plans without a task deadline are unrecoverable: rejected.
+  if "${dir}/tools/pagoda_cli" --workload=MM --gpus=2 --faults=wedge:0.1 \
+      >/dev/null 2>&1; then
+    echo "error: wedge plan without --task-timeout-us unexpectedly accepted" >&2
+    exit 1
+  fi
+  # An explicit --slo-us=0 is ambiguous and must be refused.
+  if "${dir}/tools/pagoda_cli" --workload=MM --gpus=2 --slo-us=0 \
+      >/dev/null 2>&1; then
+    echo "error: --slo-us=0 unexpectedly accepted" >&2
+    exit 1
+  fi
+}
+
+fault_grep_clean() {
+  # Recovery paths must never throw: failures flow through
+  # fault::FailureCause values so a fault can never unwind the dispatcher
+  # mid-ledger. Comment mentions of the word are fine; throw *statements*
+  # are not.
+  echo "==> fault no-throw grep"
+  local hits
+  hits=$(grep -rnE "\bthrow\b" --include="*.cpp" --include="*.h" \
+      src/fault src/cluster |
+      grep -vE "^[^:]+:[0-9]+: *//" | grep -vE "//.*\bthrow\b" || true)
+  if [[ -n "${hits}" ]]; then
+    echo "error: naked throw in fault/recovery paths:" >&2
+    echo "${hits}" >&2
+    exit 1
+  fi
+}
+
 engine_grep_clean() {
   # The engine::Session layer owns simulation bring-up: nothing outside
   # src/engine and src/sim (plus tests) may construct a sim::Simulation
@@ -91,7 +143,9 @@ wallclock_gate() {
 # sanitizers.
 run_pass build-release -DCMAKE_BUILD_TYPE=Release -DPAGODA_WERROR=ON
 cluster_smoke build-release
+fault_smoke build-release
 engine_grep_clean
+fault_grep_clean
 wallclock_gate build-release
 
 echo "==> bench determinism (cluster_scaling)"
@@ -100,11 +154,20 @@ build-release/bench/cluster_scaling --tasks=512 --out=/tmp/pagoda_cluster_b.json
 cmp /tmp/pagoda_cluster_a.json /tmp/pagoda_cluster_b.json
 rm -f /tmp/pagoda_cluster_a.json /tmp/pagoda_cluster_b.json
 
+echo "==> bench determinism + availability gate (fault_recovery)"
+# The bench CHECKs retry goodput >= 2x no-retry at the top of the fault
+# sweep and that node crashes lose nothing; two runs must be byte-identical.
+build-release/bench/fault_recovery --tasks=1000 --out=/tmp/pagoda_fault_a.json >/dev/null
+build-release/bench/fault_recovery --tasks=1000 --out=/tmp/pagoda_fault_b.json >/dev/null
+cmp /tmp/pagoda_fault_a.json /tmp/pagoda_fault_b.json
+rm -f /tmp/pagoda_fault_a.json /tmp/pagoda_fault_b.json
+
 if [[ "${1:-}" != "--fast" ]]; then
   run_pass build-asan \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     "-DPAGODA_SANITIZE=${SANITIZERS}"
   cluster_smoke build-asan
+  fault_smoke build-asan
 fi
 
 echo "==> all checks passed"

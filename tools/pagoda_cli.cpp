@@ -21,6 +21,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "baselines/factories.h"
@@ -28,6 +29,7 @@
 #include "cluster/traffic.h"
 #include "common/alloc_tuning.h"
 #include "common/stats.h"
+#include "fault/plan.h"
 #include "harness/calibration.h"
 #include "harness/experiment.h"
 #include "harness/flags.h"
@@ -58,7 +60,11 @@ int list_options() {
       "--trace-format=csv|chrome\n"
       "cluster:   --gpus=N | --gpus=titanx,k40,...   (selects the Cluster "
       "runtime)\n"
-      "           --policy=NAME --arrival=SPEC --slo-us=X --queue-limit=N\n");
+      "           --policy=NAME --arrival=SPEC --slo-us=X --queue-limit=N\n"
+      "           --faults=SPEC --retry-budget=N --task-timeout-us=X\n"
+      "faults:    comma list of task:P | xfer:P | wedge:P |\n"
+      "           crash:NODE:T_US[:RECOVER_US] |\n"
+      "           degrade:T_US:DUR_US:FACTOR[:NODE] | seed:N\n");
   std::printf("policies:  ");
   for (const std::string_view p : cluster::all_policy_names()) {
     std::printf("%s ", std::string(p).c_str());
@@ -144,7 +150,8 @@ int main(int argc, char** argv) {
        "input", "blocks", "irregular", "dynamic-threads", "no-shmem",
        "compute", "no-copies", "batch", "rows", "two-copy", "trace",
        "trace-format", "metrics", "metrics-period", "profile", "gpus",
-       "policy", "arrival", "slo-us", "queue-limit"});
+       "policy", "arrival", "slo-us", "queue-limit", "faults", "retry-budget",
+       "task-timeout-us"});
   if (!bad.empty()) {
     std::fprintf(stderr, "error: unknown argument '%s' (try --help)\n",
                  bad.c_str());
@@ -162,6 +169,13 @@ int main(int argc, char** argv) {
   if (flags.has("gpus") && (multi || rts[0] != "Cluster")) {
     std::fprintf(stderr, "error: --gpus only applies to --runtime=Cluster\n");
     return 1;
+  }
+  for (const char* f : {"faults", "retry-budget", "task-timeout-us"}) {
+    if (flags.has(f) && (multi || rts[0] != "Cluster")) {
+      std::fprintf(stderr, "error: --%s only applies to --runtime=Cluster\n",
+                   f);
+      return 1;
+    }
   }
   const std::string rt = rts[0];
   const bool want_cluster = !multi && rt == "Cluster";
@@ -219,10 +233,60 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: --slo-us must be >= 0\n");
       return 1;
     }
+    if (flags.has("slo-us") && slo_us == 0.0) {
+      std::fprintf(stderr,
+                   "error: --slo-us=0 is ambiguous; omit the flag to disable "
+                   "SLO accounting, or pass a positive deadline "
+                   "(e.g. --slo-us=5000)\n");
+      return 1;
+    }
     rcfg.cluster.slo = sim::microseconds(slo_us);
     rcfg.cluster.queue_limit =
         static_cast<int>(flags.get_int("queue-limit", 0));
     rcfg.cluster.seed = wcfg.seed;
+
+    rcfg.cluster.faults = flags.get("faults");
+    std::string fault_err;
+    const std::optional<fault::FaultPlan> plan =
+        fault::FaultPlan::parse(rcfg.cluster.faults, &fault_err);
+    if (!plan.has_value()) {
+      std::fprintf(stderr,
+                   "error: bad --faults spec: %s\n"
+                   "valid forms (comma list): task:P xfer:P wedge:P "
+                   "crash:NODE:T_US[:RECOVER_US] "
+                   "degrade:T_US:DUR_US:FACTOR[:NODE] seed:N\n",
+                   fault_err.c_str());
+      return 1;
+    }
+    const double timeout_us = flags.get_double("task-timeout-us", 0.0);
+    if (timeout_us < 0.0) {
+      std::fprintf(stderr, "error: --task-timeout-us must be >= 0\n");
+      return 1;
+    }
+    rcfg.cluster.task_timeout = sim::microseconds(timeout_us);
+    if (plan->needs_deadline() && timeout_us == 0.0) {
+      std::fprintf(stderr,
+                   "error: this --faults plan wedges tasks or crashes nodes, "
+                   "which only a task deadline can detect; add "
+                   "--task-timeout-us=X (e.g. --task-timeout-us=2000)\n");
+      return 1;
+    }
+    rcfg.cluster.retry_budget =
+        static_cast<int>(flags.get_int("retry-budget", -1));
+    if (flags.has("retry-budget") && rcfg.cluster.retry_budget < 0) {
+      std::fprintf(stderr,
+                   "error: --retry-budget must be >= 0 (0 disables retries)\n");
+      return 1;
+    }
+    for (const fault::CrashEvent& ev : plan->crashes) {
+      if (ev.node >= static_cast<int>(rcfg.cluster.specs.size())) {
+        std::fprintf(stderr,
+                     "error: --faults crash targets node %d but the cluster "
+                     "has %zu node(s)\n",
+                     ev.node, rcfg.cluster.specs.size());
+        return 1;
+      }
+    }
   }
 
   if (!multi && !harness::runtime_supports(wl, rt, wcfg)) {
