@@ -66,6 +66,9 @@ struct ClusterRunState {
       nc.host = cfg.host;
       nc.pagoda = cfg.pagoda;
       nc.pagoda.mode = cfg.mode;
+      // One policy end-to-end: the scheduler warps claim in the same order
+      // the dispatcher admits.
+      nc.pagoda.sched = cfg.cluster.sched;
       nodes.push_back(nc);
     }
     return nodes;
@@ -88,6 +91,8 @@ struct ClusterRunState {
       dc.retry.budget = cfg.cluster.retry_budget;
     }
     dc.task_timeout = cfg.cluster.task_timeout;
+    dc.sched = cfg.cluster.sched;
+    dc.qos = cfg.cluster.qos;
     return dc;
   }
 };
@@ -109,6 +114,7 @@ sim::Process source(ClusterRunState& st, const RunConfig& cfg,
       r.d2h_bytes = t.d2h_bytes;
     }
     r.index = i;
+    r.cls = cfg.cluster.default_class;
     st.dispatcher.offer(std::move(r));
   }
   st.dispatcher.close();

@@ -14,6 +14,7 @@
 #include "engine/result_builder.h"
 #include "engine/stage_pipeline.h"
 #include "gpu/stream.h"
+#include "sched/policy.h"
 #include "sim/process.h"
 #include "sim/sync.h"
 
@@ -37,6 +38,9 @@ struct RunState {
   /// a bound, queued bulk inputs would starve the (FIFO) DMA engine of the
   /// small TaskTable entry copies that drive scheduling.
   sim::Semaphore data_slots;
+  /// Host-side spawn-order policy (persists across batch slices so WFQ's
+  /// virtual time carries over); fifo leaves slices untouched.
+  sched::Policy sched_policy;
   bool done = false;
   sim::Time end_time = 0;
 
@@ -51,7 +55,8 @@ struct RunState {
         marks(num_tasks),
         drained(session.sim()),
         spawns_cv(session.sim()),
-        data_slots(session.sim(), 8) {}
+        data_slots(session.sim(), 8),
+        sched_policy(cfg.pagoda.sched) {}
 
   sim::Simulation& sim() { return session.sim(); }
   runtime::Runtime& rt() { return session.rt(); }
@@ -60,19 +65,58 @@ struct RunState {
 /// Performs the taskSpawn for one task (invoked once its input copy has
 /// landed). Runs as its own tiny process, modelling the paper's Fig 1a
 /// OpenMP task pool where copies and spawns of different tasks overlap.
-sim::Process spawn_one(RunState& st, const TaskSpec& t, int idx) {
-  const runtime::TaskHandle h = co_await st.rt().task_spawn(t.params);
+/// Takes the (possibly class-tagged) params by value: the copy-completion
+/// callback outlives the spawner's loop iteration.
+sim::Process spawn_one(RunState& st, runtime::TaskParams p, int idx) {
+  const runtime::TaskHandle h = co_await st.rt().task_spawn(p);
   st.entry_to_idx[h.id] = idx;
   st.marks.mark_start(idx, st.sim().now());
   st.pending_spawns -= 1;
   if (st.pending_spawns == 0) st.spawns_cv.notify_all();
 }
 
+/// The spec's params with the driver-wide QoS class applied. kStandard (the
+/// default) leaves pre-tagged specs alone, so programmatic mixed-class task
+/// lists survive the stamp.
+runtime::TaskParams tagged_params(const RunConfig& cfg, const TaskSpec& t) {
+  runtime::TaskParams p = t.params;
+  if (cfg.task_class != sched::Class::kStandard) {
+    p.sched_class = static_cast<std::uint8_t>(cfg.task_class);
+  }
+  return p;
+}
+
 sim::Process spawner(RunState& st, const RunConfig& cfg,
                      std::span<const TaskSpec> tasks,
                      std::span<const int> indices) {
-  for (const int idx : indices) {
+  // The spawn stream is the first point where arrival order can be
+  // overridden (the scheduler warps' claim pass is the second): under a
+  // non-fifo policy the slice is reordered by the policy comparator over
+  // each task's QoS tags, slice position breaking ties. fifo takes the
+  // slice verbatim — byte-identical to the pre-QoS driver.
+  std::vector<int> reordered;
+  std::span<const int> order = indices;
+  if (!st.sched_policy.fifo()) {
+    std::vector<sched::SchedKey> keys(indices.size());
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      const runtime::TaskParams p =
+          tagged_params(cfg, tasks[static_cast<std::size_t>(indices[i])]);
+      sched::SchedKey& k = keys[i];
+      k.cls = sched::class_from_raw(p.sched_class);
+      k.deadline = sched::deadline_from_us(p.deadline_us);
+      k.cost = static_cast<double>(p.warps_total());
+      k.seq = static_cast<std::uint64_t>(i);
+    }
+    reordered.reserve(indices.size());
+    for (const int pos : st.sched_policy.order(keys)) {
+      st.sched_policy.served(keys[static_cast<std::size_t>(pos)]);
+      reordered.push_back(indices[static_cast<std::size_t>(pos)]);
+    }
+    order = reordered;
+  }
+  for (const int idx : order) {
     const TaskSpec& t = tasks[static_cast<std::size_t>(idx)];
+    const runtime::TaskParams p = tagged_params(cfg, t);
     st.pending_spawns += 1;
     if (cfg.include_data_copies && t.h2d_bytes > 0) {
       // Fig 1a copies a task's input before spawning it; with the OpenMP
@@ -82,12 +126,12 @@ sim::Process spawner(RunState& st, const RunConfig& cfg,
       co_await st.data_slots.acquire();
       co_await st.pipe.copy_staged(
           st.pipe.h2d_stream(static_cast<std::size_t>(idx)),
-          pcie::Direction::HostToDevice, t.h2d_bytes, [&st, &t, idx] {
+          pcie::Direction::HostToDevice, t.h2d_bytes, [&st, p, idx] {
             st.data_slots.release();
-            st.sim().spawn(spawn_one(st, t, idx));
+            st.sim().spawn(spawn_one(st, p, idx));
           });
     } else {
-      st.sim().spawn(spawn_one(st, t, idx));
+      st.sim().spawn(spawn_one(st, p, idx));
       co_await st.sim().delay(cfg.host.task_spawn_fill);
     }
   }

@@ -56,6 +56,14 @@ struct ClusterOptions {
   /// Per-attempt execution deadline; 0 = none (required nonzero by plans
   /// that wedge or crash).
   sim::Duration task_timeout = 0;
+  /// QoS scheduling policy for the dispatcher's admission queues (and, via
+  /// TaskParams tags, the GPU-side claim order). fifo = legacy behavior.
+  sched::PolicyConfig sched{};
+  /// Class stamped on every request the driver synthesizes from the
+  /// workload's tasks.
+  sched::Class default_class = sched::Class::kStandard;
+  /// Arms per-class sched.* metric export even under fifo.
+  bool qos = false;
 };
 
 struct RunConfig {
@@ -82,6 +90,10 @@ struct RunConfig {
   obs::Collector* collector = nullptr;
   /// Multi-GPU serving options (the "Cluster" runtime only).
   ClusterOptions cluster{};
+  /// QoS class tagged onto every task the single-device Pagoda drivers
+  /// spawn (TaskParams::sched_class). Spawn order within a batch follows
+  /// RunConfig::pagoda.sched when it is not fifo.
+  sched::Class task_class = sched::Class::kStandard;
 };
 
 /// The uniform measurement (assembled by engine::ResultBuilder).

@@ -21,18 +21,30 @@ GpuNode::GpuNode(sim::Simulation& sim, const NodeConfig& cfg, int index)
 
 void GpuNode::cache_insert(std::uint64_t key) {
   if (cfg_.cache_keys <= 0) return;
-  if (resident_.count(key) > 0) return;
-  if (static_cast<int>(resident_fifo_.size()) >= cfg_.cache_keys) {
-    resident_.erase(resident_fifo_.front());
-    resident_fifo_.pop_front();
+  if (const auto it = resident_index_.find(key);
+      it != resident_index_.end()) {
+    // Re-inserting resident data is a use: promote to most-recently-used.
+    resident_lru_.splice(resident_lru_.end(), resident_lru_, it->second);
+    return;
   }
-  resident_.insert(key);
-  resident_fifo_.push_back(key);
+  if (static_cast<int>(resident_lru_.size()) >= cfg_.cache_keys) {
+    resident_index_.erase(resident_lru_.front());
+    resident_lru_.pop_front();
+  }
+  resident_lru_.push_back(key);
+  resident_index_.emplace(key, std::prev(resident_lru_.end()));
+}
+
+void GpuNode::cache_touch(std::uint64_t key) {
+  if (const auto it = resident_index_.find(key);
+      it != resident_index_.end()) {
+    resident_lru_.splice(resident_lru_.end(), resident_lru_, it->second);
+  }
 }
 
 void GpuNode::cache_clear() {
-  resident_.clear();
-  resident_fifo_.clear();
+  resident_lru_.clear();
+  resident_index_.clear();
 }
 
 Cluster::Cluster(sim::Simulation& sim, const std::vector<NodeConfig>& nodes)

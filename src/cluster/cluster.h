@@ -9,7 +9,7 @@
 //  * load counters the placement policies read (outstanding request count,
 //    outstanding service demand, executor-warp busy fraction — the same
 //    passive signals the obs::Collector samplers record);
-//  * a bounded FIFO cache of resident data keys, the substrate for the
+//  * a bounded LRU cache of resident data keys, the substrate for the
 //    data-affinity policy (a hit skips the request's H2D input copy).
 //
 // The Cluster owns the nodes and nothing else: arrival processes, placement
@@ -17,9 +17,9 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
+#include <list>
 #include <memory>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
 #include "engine/session.h"
@@ -42,7 +42,7 @@ struct NodeConfig {
   pcie::PcieConfig pcie{};
   host::HostCosts host{};
   runtime::PagodaConfig pagoda{};
-  /// Data keys the node can hold resident (FIFO eviction); 0 disables the
+  /// Data keys the node can hold resident (LRU eviction); 0 disables the
   /// affinity cache entirely.
   int cache_keys = 64;
 };
@@ -143,12 +143,18 @@ class GpuNode {
   }
 
   // --- data-affinity cache ----------------------------------------------
-  /// Whether `key` is resident (no cache mutation).
+  /// Whether `key` is resident. Pure read (placement probes every node per
+  /// request; observation must not mutate recency).
   bool cache_contains(std::uint64_t key) const {
-    return resident_.count(key) > 0;
+    return resident_index_.count(key) > 0;
   }
-  /// Marks `key` resident, evicting FIFO when full. No-op when disabled.
+  /// Marks `key` resident; when full, evicts the least-recently-used key in
+  /// O(1) via the intrusive list index. Inserting a resident key promotes
+  /// it to most-recently-used. No-op when the cache is disabled.
   void cache_insert(std::uint64_t key);
+  /// Promotes a resident key to most-recently-used (called on a read hit).
+  /// No-op when absent.
+  void cache_touch(std::uint64_t key);
   /// Drops every resident key (node-death recovery: the data died with it).
   void cache_clear();
 
@@ -164,8 +170,11 @@ class GpuNode {
   int outstanding_ = 0;
   double outstanding_work_ = 0.0;
   std::int64_t completed_ = 0;
-  std::unordered_set<std::uint64_t> resident_;
-  std::deque<std::uint64_t> resident_fifo_;
+  /// LRU order, front = least recently used; resident_index_ holds each
+  /// key's list position so promotion and eviction are O(1) splices.
+  std::list<std::uint64_t> resident_lru_;
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
+      resident_index_;
 };
 
 class Cluster {

@@ -8,6 +8,7 @@
 #include "common/stats.h"
 #include "obs/collector.h"
 #include "obs/metrics.h"
+#include "obs/qos.h"
 #include "sim/process.h"
 
 namespace pagoda::cluster {
@@ -28,16 +29,18 @@ Dispatcher::Dispatcher(Cluster& cluster,
     : cluster_(&cluster),
       policy_(std::move(policy)),
       cfg_(std::move(cfg)),
+      sched_policy_(cfg_.sched),
       drained_(cluster.sim()),
       work_cv_(cluster.sim()) {
   PAGODA_CHECK_MSG(policy_ != nullptr, "Dispatcher needs a placement policy");
   fault_armed_ = cfg_.faults.enabled() || cfg_.task_timeout > 0;
+  qos_ = cfg_.qos || cfg_.sched.kind != sched::PolicyKind::kFifo;
   node_state_.resize(static_cast<std::size_t>(cluster.size()));
   for (int i = 0; i < cluster.size(); ++i) {
     GpuNode& node = cluster.node(i);
     NodeState& ns = node_state_[static_cast<std::size_t>(i)];
-    ns.slots =
-        std::make_unique<sim::Semaphore>(cluster.sim(), node.capacity());
+    ns.slots = std::make_unique<sched::ReadyQueue>(
+        cluster.sim(), node.capacity(), sched_policy_);
     ns.records.resize(static_cast<std::size_t>(node.capacity()));
     ns.activity = std::make_unique<sim::Condition>(cluster.sim());
     node.rt().set_completion_observer(
@@ -123,28 +126,84 @@ sim::Process Dispatcher::watchdog_loop() {
   }
 }
 
+sched::SchedKey Dispatcher::make_key(const Request& r, sim::Time arrival) {
+  sched::SchedKey key;
+  key.cls = r.cls;
+  key.deadline = r.slo > 0 ? arrival + r.slo : 0;
+  key.cost = r.cost;
+  key.seq = sched_seq_++;
+  return key;
+}
+
+void Dispatcher::stamp_qos_tags(Request& r, sim::Time arrival) const {
+  r.params.sched_class = static_cast<std::uint8_t>(r.cls);
+  r.params.deadline_us =
+      r.slo > 0 ? sched::deadline_to_us(arrival + r.slo) : 0;
+}
+
+bool Dispatcher::try_evict_for(const Request& r) {
+  // Prospective key for the arrival (seq after every parked waiter; WFQ tag
+  // peeked without mutating, so a refused eviction leaves no trace).
+  sched::SchedKey arrival;
+  arrival.cls = r.cls;
+  arrival.deadline = r.slo > 0 ? sim().now() + r.slo : 0;
+  arrival.cost = r.cost;
+  arrival.seq = sched_seq_;
+  arrival.vtag = sched_policy_.peek_tag(r.cls);
+  int victim_node = -1;
+  const sched::SchedKey* victim = nullptr;
+  for (int i = 0; i < cluster_->size(); ++i) {
+    const sched::SchedKey* w =
+        node_state_[static_cast<std::size_t>(i)].slots->worst();
+    if (w == nullptr) continue;
+    if (victim == nullptr || sched_policy_.before(*victim, *w)) {
+      victim = w;
+      victim_node = i;
+    }
+  }
+  if (victim == nullptr || !sched_policy_.before(arrival, *victim)) {
+    return false;
+  }
+  stats_.evicted += 1;
+  cstats(victim->cls).evicted += 1;
+  fault_event("evict");
+  // The victim wakes with Grant::evicted, un-counts itself and sheds.
+  node_state_[static_cast<std::size_t>(victim_node)].slots->evict_worst();
+  return true;
+}
+
 void Dispatcher::offer(Request r) {
   PAGODA_CHECK_MSG(!closed_, "offer() after close()");
   stats_.offered += 1;
+  cstats(r.cls).offered += 1;
   if (r.slo == 0) r.slo = cfg_.default_slo;
   if (cfg_.queue_limit > 0 && backlog_ >= cfg_.queue_limit) {
     // Admission control: a bounded backlog turns overload into determinate
-    // drops. A dropped request never attains its deadline.
-    stats_.dropped += 1;
-    if (r.slo > 0) stats_.slo_violations += 1;
-    return;
+    // outcomes. Under fifo the arrival is dropped; under a real policy the
+    // arrival may instead displace the policy-worst parked request
+    // (class-aware shedding — the backlog slot goes to the urgent class).
+    if (sched_policy_.fifo() || !try_evict_for(r)) {
+      stats_.dropped += 1;
+      cstats(r.cls).dropped += 1;
+      if (r.slo > 0) stats_.slo_violations += 1;
+      return;
+    }
   }
   const int node_index = policy_->pick(*cluster_, r);
   if (node_index < 0) {
     // Whole fleet dead or draining: refuse at the door rather than queue
     // onto capacity that may never come back.
     stats_.dropped += 1;
+    cstats(r.cls).dropped += 1;
     if (r.slo > 0) stats_.slo_violations += 1;
     return;
   }
   PAGODA_CHECK_MSG(node_index < cluster_->size(),
                    "placement policy returned a bad node index");
   stats_.admitted += 1;
+  cstats(r.cls).admitted += 1;
+  cls_in_flight_[static_cast<std::size_t>(sched::index(r.cls))] += 1;
+  stamp_qos_tags(r, sim().now());
   Attempt a{std::move(r), sim().now(), 1, next_uid_++};
   placements_.push_back(node_index);
   cluster_->node(node_index).add_outstanding(a.r.cost);
@@ -173,10 +232,20 @@ sim::Process Dispatcher::serve(Attempt a, int node_index) {
   NodeState& ns = node_state_[static_cast<std::size_t>(node_index)];
 
   // Backpressure: at most `capacity` requests per device own a TaskTable
-  // entry or an input copy at once; the rest queue here, in FIFO order.
-  const bool granted = co_await ns.slots->acquire();
+  // entry or an input copy at once; the rest queue here, in policy order
+  // (arrival order under fifo). The key draws a fresh seq per attempt so a
+  // retry re-queues at the back exactly as the legacy semaphore did.
+  const sched::ReadyQueue::Grant grant =
+      co_await ns.slots->acquire(make_key(a.r, a.arrival));
   backlog_ -= 1;
-  if (!granted) {
+  if (grant.evicted) {
+    // Displaced by a more urgent arrival (try_evict_for): resolve as a shed
+    // so the exactly-once ledger balances.
+    node.abandon_outstanding(a.r.cost);
+    shed_request(std::move(a), fault::FailureCause::kEvicted);
+    co_return;
+  }
+  if (!grant.granted) {
     // The node died while this attempt queued: no slot was held. Re-place
     // on a healthy peer without charging the retry budget.
     node.abandon_outstanding(a.r.cost);
@@ -191,6 +260,7 @@ sim::Process Dispatcher::serve(Attempt a, int node_index) {
     const bool hit = a.r.data_key != 0 && node.cache_contains(a.r.data_key);
     if (hit) {
       stats_.affinity_hits += 1;
+      node.cache_touch(a.r.data_key);  // a hit is a use: promote to MRU
     } else {
       co_await sim().delay(cfg_.host.memcpy_setup);
       auto trig = std::make_shared<sim::Trigger>(sim());
@@ -344,10 +414,10 @@ void Dispatcher::attempt_failed(int node_index, Attempt a,
   const bool slo_blown = a.r.slo > 0 && now - a.arrival > a.r.slo;
   const bool degraded = healthy < cluster_->size();
   // Graceful degradation: give up on requests whose deadline is already
-  // blown, and — while capacity is reduced — on the low-priority tier, so
-  // the surviving nodes' slots go to work that can still meet its SLO.
+  // blown, and — while capacity is reduced — on the batch class, so the
+  // surviving nodes' slots go to work that can still meet its SLO.
   if (!budget_left || slo_blown || healthy == 0 ||
-      (degraded && a.r.priority < 0)) {
+      (degraded && a.r.cls == sched::Class::kBatch)) {
     shed_request(std::move(a), cause);
     return;
   }
@@ -365,6 +435,10 @@ sim::Process Dispatcher::retry_later(Attempt a) {
 void Dispatcher::shed_request(Attempt a, fault::FailureCause cause) {
   stats_.shed += 1;
   stats_.slot_releases += 1;  // the request's exactly-once resolution
+  ClassStats& cs = cstats(a.r.cls);
+  cs.shed += 1;
+  cs.slot_releases += 1;
+  cls_in_flight_[static_cast<std::size_t>(sched::index(a.r.cls))] -= 1;
   if (a.r.slo > 0) stats_.slo_violations += 1;
   (void)cause;
   fault_event("shed");
@@ -380,14 +454,21 @@ void Dispatcher::finalize(int node_index, Attempt att) {
   ns.slots->release();
   stats_.slot_releases += 1;
   stats_.completed += 1;
+  ClassStats& cs = cstats(att.r.cls);
+  cs.completed += 1;
+  cs.slot_releases += 1;
+  cls_in_flight_[static_cast<std::size_t>(sched::index(att.r.cls))] -= 1;
   in_flight_ -= 1;
 
   const sim::Duration latency = now - att.arrival;
   latencies_us_.push_back(sim::to_microseconds(latency));
+  cls_latencies_us_[static_cast<std::size_t>(sched::index(att.r.cls))]
+      .push_back(sim::to_microseconds(latency));
   spans_.push_back(Span{att.arrival, now});
   if (att.r.slo > 0 && latency > att.r.slo) {
     stats_.slo_violations += 1;
     stats_.slo_late += 1;
+    cs.slo_late += 1;
   }
 
   maybe_drained();
@@ -562,6 +643,24 @@ void Dispatcher::export_metrics(obs::MetricsRegistry& m) const {
     obs::Histogram& h = m.histogram("cluster.latency_us");
     for (const double v : latencies_us_) h.add(v);
   }
+  if (qos_) {
+    // Per-class ledger + latency tails, gated so default (non-QoS) runs
+    // emit no sched.* keys and their metric JSON stays byte-identical.
+    m.counter("sched.evicted").set(stats_.evicted);
+    for (int c = 0; c < sched::kNumClasses; ++c) {
+      const auto cls = static_cast<sched::Class>(c);
+      const ClassStats& cs = cls_stats_[static_cast<std::size_t>(c)];
+      obs::export_sched_counter(m, cls, "offered", cs.offered);
+      obs::export_sched_counter(m, cls, "admitted", cs.admitted);
+      obs::export_sched_counter(m, cls, "dropped", cs.dropped);
+      obs::export_sched_counter(m, cls, "completed", cs.completed);
+      obs::export_sched_counter(m, cls, "shed", cs.shed);
+      obs::export_sched_counter(m, cls, "evicted", cs.evicted);
+      obs::export_sched_counter(m, cls, "slo_late", cs.slo_late);
+      obs::export_sched_latencies(
+          m, cls, cls_latencies_us_[static_cast<std::size_t>(c)]);
+    }
+  }
   if (fault_armed_) {
     m.counter("fault.injected.task_faults").set(stats_.injected_task_faults);
     m.counter("fault.injected.transfer_faults")
@@ -598,11 +697,25 @@ void Dispatcher::install_sampler(obs::Collector& collector) {
             .add(static_cast<double>(cluster_->node(i).heartbeat()));
       }
     }
+    if (qos_) {
+      for (int c = 0; c < sched::kNumClasses; ++c) {
+        m.stat(obs::sched_key(static_cast<sched::Class>(c), "in_flight"))
+            .add(static_cast<double>(
+                cls_in_flight_[static_cast<std::size_t>(c)]));
+      }
+    }
     if (collector.timeline_enabled()) {
       collector.timeline().counter("cluster.in_flight", now,
                                    static_cast<double>(in_flight_));
       collector.timeline().counter("cluster.backlog", now,
                                    static_cast<double>(backlog_));
+      if (qos_) {
+        for (int c = 0; c < sched::kNumClasses; ++c) {
+          collector.timeline().counter(
+              obs::sched_key(static_cast<sched::Class>(c), "in_flight"), now,
+              static_cast<double>(cls_in_flight_[static_cast<std::size_t>(c)]));
+        }
+      }
       if (fault_armed_) {
         for (int i = 0; i < cluster_->size(); ++i) {
           collector.timeline().counter(

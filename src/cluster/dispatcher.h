@@ -43,17 +43,28 @@
 //    shrinks. Recovery never throws: failures flow through
 //    fault::FailureCause values (tools/check.sh greps for naked throws).
 //
-// Admission control is two-layered: the per-node slot semaphore bounds
+// Admission control is two-layered: the per-node slot queue bounds
 // in-flight work per device at its TaskTable size (backpressure), and the
 // optional global queue bound converts overload into deterministic drops
 // instead of an unbounded backlog — the open-loop analogue of a full accept
 // queue.
+//
+// QoS (see sched/policy.h): every ordering decision routes through one
+// sched::Policy. The per-node slot queues are sched::ReadyQueues — under the
+// default fifo policy they reproduce the legacy semaphore's event stream
+// byte-for-byte; under priority/edf/wfq a released slot goes to the best
+// parked request, and when the global queue bound is hit an urgent arrival
+// may EVICT the policy-worst parked request (counted per class, resolved as
+// a shed so the exactly-once ledger still balances). Admitted requests carry
+// their class and absolute deadline on TaskParams, so the same policy also
+// orders the MasterKernel's scheduler-warp claims GPU-side.
 //
 // All accounting (latency percentiles, violation rate, per-device load
 // imbalance, fault.* counters) is virtual-time derived and exported into an
 // obs::MetricsRegistry, so `--metrics` / `--profile` work unchanged.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -67,6 +78,8 @@
 #include "fault/plan.h"
 #include "fault/retry.h"
 #include "fault/watchdog.h"
+#include "sched/policy.h"
+#include "sched/ready_queue.h"
 #include "sim/sync.h"
 
 namespace pagoda::obs {
@@ -96,6 +109,16 @@ struct DispatcherConfig {
   sim::Duration task_timeout = 0;
   /// Heartbeat probing cadence and death threshold.
   fault::WatchdogConfig watchdog{};
+
+  // --- QoS scheduling (see sched/policy.h) --------------------------------
+  /// Ordering policy for the per-node admission queues, shed/evict
+  /// comparisons, and (via TaskParams tags) the GPU-side claim order.
+  /// fifo reproduces the legacy semaphore byte-for-byte.
+  sched::PolicyConfig sched{};
+  /// Arms per-class sched.* metric/timeline export even under fifo (any
+  /// non-fifo policy arms it implicitly). Off by default so default runs
+  /// emit no new metric keys.
+  bool qos = false;
 };
 
 class Dispatcher {
@@ -126,6 +149,23 @@ class Dispatcher {
     std::int64_t detected_timeouts = 0;
     std::int64_t detected_node_deaths = 0;
     std::int64_t nodes_recovered = 0;
+    // --- QoS plane --------------------------------------------------------
+    /// Parked requests displaced by a more urgent arrival (non-fifo only);
+    /// every eviction also counts as a shed, so the ledger balances.
+    std::int64_t evicted = 0;
+  };
+
+  /// Per-class slice of the ledger. The same exactly-once invariant holds
+  /// classwise after drain(): slot_releases == completed + shed == admitted.
+  struct ClassStats {
+    std::int64_t offered = 0;
+    std::int64_t admitted = 0;
+    std::int64_t dropped = 0;
+    std::int64_t completed = 0;
+    std::int64_t shed = 0;
+    std::int64_t evicted = 0;
+    std::int64_t slo_late = 0;
+    std::int64_t slot_releases = 0;
   };
 
   Dispatcher(Cluster& cluster, std::unique_ptr<PlacementPolicy> policy,
@@ -152,6 +192,14 @@ class Dispatcher {
   void reinstate_node(int node_index);
 
   const Stats& stats() const { return stats_; }
+  const ClassStats& class_stats(sched::Class c) const {
+    return cls_stats_[static_cast<std::size_t>(sched::index(c))];
+  }
+  /// Attained latency per completed request of one class, us.
+  std::span<const double> class_latencies_us(sched::Class c) const {
+    return cls_latencies_us_[static_cast<std::size_t>(sched::index(c))];
+  }
+  const sched::Policy& sched_policy() const { return sched_policy_; }
   const PlacementPolicy& policy() const { return *policy_; }
   Cluster& cluster() { return *cluster_; }
 
@@ -209,7 +257,7 @@ class Dispatcher {
   };
 
   struct NodeState {
-    std::unique_ptr<sim::Semaphore> slots;
+    std::unique_ptr<sched::ReadyQueue> slots;
     /// In-flight request records indexed by TaskTable entry (id-relative):
     /// entry reuse is safe because a record is erased at resolution, before
     /// the slot semaphore lets the next request claim the entry.
@@ -260,6 +308,20 @@ class Dispatcher {
   sim::Process watchdog_loop();
   sim::Process retry_later(Attempt a);
 
+  /// The scheduling key for one placement attempt: class/deadline/cost from
+  /// the request, seq freshly drawn so retries re-queue at the back.
+  sched::SchedKey make_key(const Request& r, sim::Time arrival);
+  /// Stamps the request's class/deadline onto its TaskParams so the GPU-side
+  /// claim comparator sees them. Called once, at admission.
+  void stamp_qos_tags(Request& r, sim::Time arrival) const;
+  /// Non-fifo overload path: if the policy ranks the arrival ahead of the
+  /// globally worst parked request, evict that request (it wakes and sheds)
+  /// and return true so the arrival may be admitted in its place.
+  bool try_evict_for(const Request& r);
+  ClassStats& cstats(sched::Class c) {
+    return cls_stats_[static_cast<std::size_t>(sched::index(c))];
+  }
+
   void dispatch_attempt(Attempt a);
   void on_task_complete(int node_index, runtime::TaskId id);
   void on_deadline(int node_index, std::size_t idx, std::uint64_t uid);
@@ -280,10 +342,16 @@ class Dispatcher {
   std::unique_ptr<PlacementPolicy> policy_;
   DispatcherConfig cfg_;
   bool fault_armed_ = false;
+  bool qos_ = false;  // sched.* export + per-class timeline armed
+  sched::Policy sched_policy_;
+  std::uint64_t sched_seq_ = 0;  // global admission sequence (ties)
   std::vector<NodeState> node_state_;
   std::map<std::uint64_t, Wedged> wedged_;
   std::unique_ptr<fault::Watchdog> watchdog_;
   Stats stats_;
+  std::array<ClassStats, sched::kNumClasses> cls_stats_{};
+  std::array<std::vector<double>, sched::kNumClasses> cls_latencies_us_;
+  std::array<int, sched::kNumClasses> cls_in_flight_{};
   std::vector<int> placements_;
   std::vector<double> latencies_us_;
   std::vector<Span> spans_;

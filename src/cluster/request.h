@@ -6,6 +6,7 @@
 
 #include "common/time_types.h"
 #include "pagoda/task_table.h"
+#include "sched/policy.h"
 
 namespace pagoda::cluster {
 
@@ -26,10 +27,11 @@ struct Request {
   /// load-aware placement uses it to see work skew that per-node request
   /// counts cannot.
   double cost = 1.0;
-  /// Graceful-degradation tier: when cluster capacity shrinks (a node died
-  /// and its work is being re-absorbed), negative-priority requests are shed
-  /// on first failure instead of retried. 0 = normal.
-  int priority = 0;
+  /// QoS service class (see sched/policy.h). Drives admission/claim order
+  /// under non-fifo policies, and graceful degradation: when cluster
+  /// capacity shrinks (a node died and its work is being re-absorbed),
+  /// batch-class requests are shed on first failure instead of retried.
+  sched::Class cls = sched::Class::kStandard;
   /// Caller-assigned index (workload task id, packet number, ...).
   int index = -1;
 };

@@ -129,6 +129,7 @@ Request synth_request(const RequestProfile& p, std::uint64_t seed, int index) {
     r.data_key = 1 + rng.next_below(static_cast<std::uint64_t>(p.num_keys));
   }
   r.slo = p.slo;
+  r.cls = p.cls;
   return r;
 }
 

@@ -84,6 +84,8 @@ struct RequestProfile {
   /// 0 leaves requests unkeyed.
   int num_keys = 0;
   sim::Duration slo = 0;
+  /// QoS class stamped on every synthesized request (see sched/policy.h).
+  sched::Class cls = sched::Class::kStandard;
 };
 
 /// Synthesizes request `index` of the profile. The per-request randomness is

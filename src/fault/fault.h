@@ -15,6 +15,8 @@ enum class FailureCause {
   kTransferFault,  // PCIe payload copy failed end-to-end integrity
   kTimeout,        // per-task execution deadline expired (wedge or crash)
   kNodeCrash,      // node declared dead while the attempt was in flight
+  kEvicted,        // displaced from the admission queue by a more urgent
+                   // arrival under a non-FIFO scheduling policy
 };
 
 constexpr const char* to_string(FailureCause c) {
@@ -24,6 +26,7 @@ constexpr const char* to_string(FailureCause c) {
     case FailureCause::kTransferFault: return "transfer_fault";
     case FailureCause::kTimeout: return "timeout";
     case FailureCause::kNodeCrash: return "node_crash";
+    case FailureCause::kEvicted: return "evicted";
   }
   return "?";
 }

@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <initializer_list>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -39,24 +40,49 @@ class Flags {
   /// Integer flag value. The whole value must parse — `--tasks=12abc` is an
   /// error (exit 2), not 12. An absent flag or `--name=` yields `def`.
   std::int64_t get_int(std::string_view name, std::int64_t def) const {
-    const std::string v = get(name);
-    if (v.empty()) return def;
-    errno = 0;
-    char* end = nullptr;
-    const std::int64_t parsed = std::strtoll(v.c_str(), &end, 10);
-    if (errno != 0 || end != v.c_str() + v.size()) bad_value(name, v);
-    return parsed;
+    return strict_parse(name, def, [](const char* s, char** end) {
+      return std::strtoll(s, end, 10);
+    });
   }
 
   /// Floating-point flag value, with the same full-consumption rule.
   double get_double(std::string_view name, double def) const {
-    const std::string v = get(name);
-    if (v.empty()) return def;
-    errno = 0;
-    char* end = nullptr;
-    const double parsed = std::strtod(v.c_str(), &end);
-    if (errno != 0 || end != v.c_str() + v.size()) bad_value(name, v);
-    return parsed;
+    return strict_parse(name, def,
+                        [](const char* s, char** end) { return std::strtod(s, end); });
+  }
+
+  /// Enumerated string flag. The value must match one of `choices` exactly;
+  /// for parameterized choices of the form "kind:ARG[...]" (e.g.
+  /// "poisson:RATE"), a value whose kind — the part before the first ':' —
+  /// matches is accepted too, leaving the argument tail for the caller's own
+  /// parser. Anything else prints the valid choices and exits 2.
+  std::string get_enum(std::string_view name, std::string_view def,
+                       std::initializer_list<std::string_view> choices) const {
+    return get_enum(name, def,
+                    std::span<const std::string_view>(choices.begin(),
+                                                      choices.size()));
+  }
+
+  std::string get_enum(std::string_view name, std::string_view def,
+                       std::span<const std::string_view> choices) const {
+    const std::string v = get(name, def);
+    const std::string_view v_kind =
+        std::string_view(v).substr(0, v.find(':'));
+    for (const std::string_view c : choices) {
+      if (v == c) return v;
+      const std::string_view c_kind = c.substr(0, c.find(':'));
+      if (c_kind.size() != c.size() && v_kind == c_kind) return v;
+    }
+    std::fprintf(stderr, "invalid value for --%.*s: '%s' (valid: ",
+                 static_cast<int>(name.size()), name.data(), v.c_str());
+    bool first = true;
+    for (const std::string_view c : choices) {
+      std::fprintf(stderr, "%s%.*s", first ? "" : ", ",
+                   static_cast<int>(c.size()), c.data());
+      first = false;
+    }
+    std::fprintf(stderr, ")\n");
+    std::exit(2);
   }
 
   /// First argument that is not `--name` or `--name=value` for a name in
@@ -84,6 +110,19 @@ class Flags {
   }
 
  private:
+  /// Shared strict-parse core for the numeric getters: the whole value must
+  /// be consumed by `parse` with errno clear, else exit 2.
+  template <typename T, typename ParseFn>
+  T strict_parse(std::string_view name, T def, ParseFn parse) const {
+    const std::string v = get(name);
+    if (v.empty()) return def;
+    errno = 0;
+    char* end = nullptr;
+    const T parsed = parse(v.c_str(), &end);
+    if (errno != 0 || end != v.c_str() + v.size()) bad_value(name, v);
+    return parsed;
+  }
+
   [[noreturn]] static void bad_value(std::string_view name,
                                      const std::string& value) {
     std::fprintf(stderr, "invalid value for --%.*s: '%s'\n",

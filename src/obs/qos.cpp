@@ -1,0 +1,34 @@
+#include "obs/qos.h"
+
+#include <cstdio>
+
+#include "common/stats.h"
+#include "obs/metrics.h"
+
+namespace pagoda::obs {
+
+std::string sched_key(sched::Class cls, const char* name) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "sched.%.*s.%s",
+                static_cast<int>(to_string(cls).size()),
+                to_string(cls).data(), name);
+  return buf;
+}
+
+void export_sched_counter(MetricsRegistry& m, sched::Class cls,
+                          const char* name, std::int64_t value) {
+  m.counter(sched_key(cls, name)).set(value);
+}
+
+void export_sched_latencies(MetricsRegistry& m, sched::Class cls,
+                            std::span<const double> latencies_us) {
+  if (latencies_us.empty()) return;
+  m.gauge(sched_key(cls, "latency.mean_us"))
+      .set(arithmetic_mean(latencies_us));
+  m.gauge(sched_key(cls, "latency.p50_us")).set(percentile(latencies_us, 50));
+  m.gauge(sched_key(cls, "latency.p99_us")).set(percentile(latencies_us, 99));
+  Histogram& h = m.histogram(sched_key(cls, "latency_us"));
+  for (const double v : latencies_us) h.add(v);
+}
+
+}  // namespace pagoda::obs

@@ -1,0 +1,32 @@
+// Per-class `sched.*` metric naming and export helpers.
+//
+// Every layer that reports QoS scheduling state (the cluster dispatcher
+// today) uses the same key scheme — "sched.<class>.<name>" — so profiles
+// from different runtimes line up. Export is opt-in: callers only emit
+// sched.* keys when QoS is armed, keeping default runs' metric JSON
+// byte-identical to the pre-sched layout.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "sched/policy.h"
+
+namespace pagoda::obs {
+
+class MetricsRegistry;
+
+/// Canonical per-class key: "sched.interactive.completed" etc.
+std::string sched_key(sched::Class cls, const char* name);
+
+/// Sets the counter sched_key(cls, name) to `value`.
+void export_sched_counter(MetricsRegistry& m, sched::Class cls,
+                          const char* name, std::int64_t value);
+
+/// Exports a class's attained-latency distribution: mean/p50/p99 gauges and
+/// a log2 histogram under sched_key(cls, "latency_us"). No-op when empty.
+void export_sched_latencies(MetricsRegistry& m, sched::Class cls,
+                            std::span<const double> latencies_us);
+
+}  // namespace pagoda::obs

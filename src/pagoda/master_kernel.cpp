@@ -118,7 +118,7 @@ void MasterKernel::start() {
   mtbs_.reserve(static_cast<std::size_t>(num_mtbs));
   for (int m = 0; m < num_mtbs; ++m) {
     auto mtb = std::make_unique<Mtb>(dev_.sim(), cfg_.rows_per_column,
-                                     arena_bytes_);
+                                     arena_bytes_, cfg_.sched);
     mtb->index = m;
     mtb->column = m;
     mtb->smm = &dev_.smm(m / kMtbsPerSmm);
@@ -217,14 +217,66 @@ sim::Task<bool> MasterKernel::scan_once(Mtb& mtb) {
       }
     }
 
-    // Lines 14-28: claim an entry whose sched flag is set.
+    // Lines 14-28: claim an entry whose sched flag is set. Under fifo the
+    // claim happens here, inline, in raw row-scan order — the paper's
+    // behavior, preserved byte-for-byte. Other policies only collect the
+    // claimable rows; the ordered claim pass below decides the order.
     if (entry.sched == 1) {
-      entry.sched = 0;
-      trace(TraceKind::kScheduled, gpu_table_.id_of(mtb.column, row),
-            mtb.column);
-      co_await schedule_entry(mtb, row);
-      progress = true;
+      if (mtb.claim_policy.fifo()) {
+        entry.sched = 0;
+        trace(TraceKind::kScheduled, gpu_table_.id_of(mtb.column, row),
+              mtb.column);
+        co_await schedule_entry(mtb, row);
+        progress = true;
+      } else {
+        mtb.claim_rows.push_back(row);
+      }
     }
+  }
+  if (!mtb.claim_rows.empty()) {
+    const bool claimed = co_await claim_in_policy_order(mtb);
+    progress = progress || claimed;
+  }
+  co_return progress;
+}
+
+sched::SchedKey MasterKernel::claim_key(const Mtb& mtb, int row) const {
+  const TaskParams& p = gpu_table_.at(mtb.column, row).params;
+  sched::SchedKey key;
+  key.cls = sched::class_from_raw(p.sched_class);
+  key.deadline = sched::deadline_from_us(p.deadline_us);
+  key.cost = static_cast<double>(p.warps_total());
+  // Row index stands in for arrival sequence: ties reproduce raw scan order.
+  key.seq = static_cast<std::uint64_t>(row);
+  return key;
+}
+
+// The non-fifo claim path: order this pass's claimable rows through the
+// policy comparator, then claim them one by one. schedule_entry may block
+// (pSched waits for executor warps), during which an entry can be resolved
+// by a release chain on another warp — hence the sched == 1 re-check per
+// claim. The selection itself is charged claim_select_cycles once per pass,
+// identically in Model and Compute modes, so timing stays mode-independent.
+sim::Task<bool> MasterKernel::claim_in_policy_order(Mtb& mtb) {
+  co_await sched_charge(mtb, cfg_.claim_select_cycles);
+  std::vector<sched::SchedKey> keys;
+  keys.reserve(mtb.claim_rows.size());
+  for (const int row : mtb.claim_rows) keys.push_back(claim_key(mtb, row));
+  const std::vector<int> order = mtb.claim_policy.order(keys);
+  std::vector<int> rows;
+  rows.swap(mtb.claim_rows);
+  bool progress = false;
+  for (const int i : order) {
+    if (!running_) break;
+    const int row = rows[static_cast<std::size_t>(i)];
+    TaskEntry& entry = gpu_table_.at(mtb.column, row);
+    if (entry.sched != 1) continue;  // resolved while a prior claim awaited
+    entry.sched = 0;
+    mtb.claim_policy.served(keys[static_cast<std::size_t>(i)]);
+    trace(TraceKind::kScheduled, gpu_table_.id_of(mtb.column, row),
+          mtb.column);
+    co_await schedule_entry(mtb, row);
+    progress = true;
   }
   co_return progress;
 }

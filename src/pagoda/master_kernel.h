@@ -41,6 +41,7 @@
 #include "pagoda/task_table.h"
 #include "pagoda/trace.h"
 #include "pagoda/warp_table.h"
+#include "sched/policy.h"
 #include "sim/process.h"
 #include "sim/sync.h"
 #include "sim/task.h"
@@ -71,9 +72,17 @@ struct PagodaConfig {
   /// argues.
   bool two_copy_spawn = false;
 
+  /// Claim-order policy for the scheduler warps (see sched/policy.h): which
+  /// pending TaskTable entry a scheduler warp claims first within a scan.
+  /// fifo keeps the paper's raw column-scan order on the legacy code path
+  /// (byte-identical event stream); other policies defer claims to a
+  /// comparator-ordered pass charged claim_select_cycles.
+  sched::PolicyConfig sched{};
+
   // GPU-side scheduling cost constants (cycles on the SMM pipeline).
   double scan_pass_cycles = 16.0;          // one scan of the 32-row column
   double release_chain_cycles = 8.0;       // prev-task release (lines 6-13)
+  double claim_select_cycles = 8.0;        // non-fifo claim-order selection
   double dispatch_cycles_per_warp = 8.0;   // pSched slot claim + fill
   double shmem_alloc_cycles = 24.0;        // buddy-tree search + marking
   double shmem_sweep_cycles = 16.0;        // deferred deallocation sweep
@@ -187,13 +196,21 @@ class MasterKernel {
     int busy_warps = 0;
     sim::Time busy_last_touch = 0;
 
-    Mtb(sim::Simulation& sim, int rows, std::int32_t arena_bytes)
+    // Claim-order policy state (per MTB so WFQ virtual time is a per-queue
+    // quantity, like the dispatcher's per-cluster instance) and the scratch
+    // row list the non-fifo claim pass collects into.
+    sched::Policy claim_policy;
+    std::vector<int> claim_rows;
+
+    Mtb(sim::Simulation& sim, int rows, std::int32_t arena_bytes,
+        const sched::PolicyConfig& sched_cfg)
         : arena(static_cast<std::size_t>(arena_bytes)),
           shmem(arena_bytes),
           barriers(sim),
           done_ctr(static_cast<std::size_t>(rows), 0),
           sched_cv(sim),
-          exec_cv(sim) {}
+          exec_cv(sim),
+          claim_policy(sched_cfg) {}
   };
 
   void wake_scheduler(Mtb& mtb) {
@@ -210,6 +227,8 @@ class MasterKernel {
   sim::Process scheduler_warp(Mtb& mtb);
   sim::Process executor_warp(Mtb& mtb, int slot_index);
   sim::Task<bool> scan_once(Mtb& mtb);
+  sim::Task<bool> claim_in_policy_order(Mtb& mtb);
+  sched::SchedKey claim_key(const Mtb& mtb, int row) const;
   sim::Task<> schedule_entry(Mtb& mtb, int row);
   sim::Task<> psched(Mtb& mtb, int row, int base_warp, int count,
                      std::shared_ptr<BlockState> block);

@@ -46,14 +46,24 @@ inline constexpr std::int32_t kReadyFree = 0;
 inline constexpr std::int32_t kReadyParamsCopied = -1;
 inline constexpr std::int32_t kReadyScheduling = 1;
 
-/// Fields 1–6: what taskSpawn supplies.
+/// Fields 1–6: what taskSpawn supplies, plus the QoS tags the sched layer
+/// orders on. The tags live in what used to be padding holes (after
+/// needs_sync and after args_size, before the alignas(16) blob), so
+/// sizeof(TaskParams) — and therefore kEntryCopyBytes and every PCIe copy
+/// charge — is unchanged from the untagged layout.
 struct TaskParams {
   gpu::KernelFn fn = nullptr;
   std::int32_t num_blocks = 1;
   std::int32_t threads_per_block = 0;
   std::int32_t shared_mem_bytes = 0;
   bool needs_sync = false;
+  /// QoS class (sched::Class numeric encoding; 1 = standard). Ordering
+  /// decisions on this byte belong to sched::Policy, never to callers.
+  std::uint8_t sched_class = 1;
   std::int32_t args_size = 0;
+  /// Absolute deadline in microseconds of sim time (0 = none); encoded via
+  /// sched::deadline_to_us. 32 bits outlast the 3600 s run cap.
+  std::uint32_t deadline_us = 0;
   alignas(16) std::array<std::byte, kMaxArgBytes> args{};
 
   int warps_per_block() const { return (threads_per_block + 31) / 32; }

@@ -1,0 +1,112 @@
+#include "sched/policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace pagoda::sched {
+
+namespace {
+
+/// EDF rank: a missing deadline (0) sorts after every dated key.
+constexpr sim::Time edf_rank(sim::Time deadline) {
+  return deadline == 0 ? std::numeric_limits<sim::Time>::max() : deadline;
+}
+
+}  // namespace
+
+std::optional<Class> parse_class(std::string_view name) {
+  for (int i = 0; i < kNumClasses; ++i) {
+    const Class c = static_cast<Class>(i);
+    if (name == to_string(c)) return c;
+  }
+  return std::nullopt;
+}
+
+std::optional<PolicyKind> parse_policy_kind(std::string_view name) {
+  for (const PolicyKind k : {PolicyKind::kFifo, PolicyKind::kPriority,
+                             PolicyKind::kEdf, PolicyKind::kWfq}) {
+    if (name == to_string(k)) return k;
+  }
+  return std::nullopt;
+}
+
+Policy::Policy(const PolicyConfig& cfg) : cfg_(cfg) {
+  for (const double w : cfg_.weights) {
+    PAGODA_CHECK_MSG(w > 0.0 && std::isfinite(w),
+                     "sched weights must be positive finite");
+  }
+}
+
+void Policy::admit(SchedKey& key) {
+  if (cfg_.kind != PolicyKind::kWfq) return;
+  // Start-time fair queueing: start tag = max(virtual time, the class's last
+  // finish tag); the class's next finish tag advances by cost / weight.
+  const int c = index(key.cls);
+  key.vtag = std::max(vtime_, last_finish_[c]);
+  last_finish_[c] = key.vtag + key.cost / cfg_.weights[c];
+}
+
+void Policy::served(const SchedKey& key) {
+  if (cfg_.kind != PolicyKind::kWfq) return;
+  vtime_ = std::max(vtime_, key.vtag);
+}
+
+bool Policy::before(const SchedKey& a, const SchedKey& b) const {
+  switch (cfg_.kind) {
+    case PolicyKind::kFifo:
+      return a.seq < b.seq;
+    case PolicyKind::kPriority:
+      if (a.cls != b.cls) return index(a.cls) < index(b.cls);
+      return a.seq < b.seq;
+    case PolicyKind::kEdf: {
+      const sim::Time ra = edf_rank(a.deadline);
+      const sim::Time rb = edf_rank(b.deadline);
+      if (ra != rb) return ra < rb;
+      return a.seq < b.seq;
+    }
+    case PolicyKind::kWfq:
+      if (a.vtag != b.vtag) return a.vtag < b.vtag;
+      return a.seq < b.seq;
+  }
+  return a.seq < b.seq;
+}
+
+double Policy::peek_tag(Class cls) const {
+  if (cfg_.kind != PolicyKind::kWfq) return 0.0;
+  return std::max(vtime_, last_finish_[index(cls)]);
+}
+
+std::vector<int> Policy::order(std::span<SchedKey> keys) {
+  std::vector<int> idx(keys.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  if (fifo()) return idx;  // arrival order, no tag churn
+  for (SchedKey& k : keys) admit(k);
+  std::stable_sort(idx.begin(), idx.end(), [&](int a, int b) {
+    return before(keys[static_cast<std::size_t>(a)],
+                  keys[static_cast<std::size_t>(b)]);
+  });
+  return idx;
+}
+
+std::uint32_t deadline_to_us(sim::Time deadline) {
+  if (deadline <= 0) return 0;
+  const double us = sim::to_microseconds(deadline);
+  const double max32 = static_cast<double>(
+      std::numeric_limits<std::uint32_t>::max());
+  if (us >= max32) return std::numeric_limits<std::uint32_t>::max();
+  // Round up so an encoded deadline is never earlier than the real one, and
+  // never collides with the 0 = "none" encoding.
+  const auto enc = static_cast<std::uint32_t>(std::ceil(us));
+  return enc == 0 ? 1 : enc;
+}
+
+sim::Time deadline_from_us(std::uint32_t us) {
+  if (us == 0) return 0;
+  return sim::microseconds(static_cast<double>(us));
+}
+
+}  // namespace pagoda::sched

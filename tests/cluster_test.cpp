@@ -3,6 +3,7 @@
 // heterogeneous-spec clusters (parameterized so nothing hard-codes Titan X).
 #include <gtest/gtest.h>
 
+#include <array>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -13,6 +14,7 @@
 #include "cluster/placement.h"
 #include "cluster/traffic.h"
 #include "obs/metrics.h"
+#include "sched/policy.h"
 #include "sim/process.h"
 
 namespace pagoda::cluster {
@@ -34,10 +36,18 @@ struct RunSpec {
   /// >0: shrink every node to this many SMMs (tiny TaskTables, so overload
   /// tests can exhaust the per-node slots with few requests).
   int num_smms = 0;
+  /// QoS scheduling policy, applied end-to-end (dispatcher + nodes).
+  sched::PolicyConfig sched{};
+  /// Arm per-class sched.* metric export even under fifo.
+  bool qos = false;
+  /// Cycle request classes interactive/standard/batch by index so every
+  /// class carries traffic.
+  bool cycle_classes = false;
 };
 
 struct RunOutput {
   Dispatcher::Stats stats;
+  std::array<Dispatcher::ClassStats, sched::kNumClasses> cls{};
   std::vector<int> placements;
   std::vector<std::int64_t> per_node_completed;
   std::string metrics_json;
@@ -50,7 +60,9 @@ sim::Process feed(sim::Simulation& sim, Dispatcher& disp, const RunSpec& rs) {
   for (int i = 0; i < rs.requests; ++i) {
     const sim::Duration gap = seq.next_gap();
     if (gap > 0) co_await sim.delay(gap);
-    disp.offer(synth_request(rs.profile, rs.seed, i));
+    Request r = synth_request(rs.profile, rs.seed, i);
+    if (rs.cycle_classes) r.cls = static_cast<sched::Class>(i % sched::kNumClasses);
+    disp.offer(std::move(r));
   }
   disp.close();
 }
@@ -68,11 +80,14 @@ RunOutput run_cluster(const RunSpec& rs) {
     NodeConfig nc;
     nc.spec = spec_by_name(name);
     if (rs.num_smms > 0) nc.spec.num_smms = rs.num_smms;
+    nc.pagoda.sched = rs.sched;
     nodes.push_back(nc);
   }
   Cluster fleet(sim, nodes);
   DispatcherConfig dc;
   dc.queue_limit = rs.queue_limit;
+  dc.sched = rs.sched;
+  dc.qos = rs.qos;
   Dispatcher disp(fleet, make_policy(rs.policy), dc);
   fleet.start();
 
@@ -82,6 +97,10 @@ RunOutput run_cluster(const RunSpec& rs) {
   sim.run_until(sim::seconds(60.0));
 
   out.stats = disp.stats();
+  for (int c = 0; c < sched::kNumClasses; ++c) {
+    out.cls[static_cast<std::size_t>(c)] =
+        disp.class_stats(static_cast<sched::Class>(c));
+  }
   out.placements = disp.placements();
   for (int i = 0; i < fleet.size(); ++i) {
     out.per_node_completed.push_back(fleet.node(i).completed());
@@ -220,6 +239,140 @@ TEST_P(ClusterArch, MixedFleetServesEverything) {
 
 INSTANTIATE_TEST_SUITE_P(Fleets, ClusterArch,
                          ::testing::Values("titan_x", "k40", "mixed"));
+
+// --- QoS scheduling -----------------------------------------------------------
+
+constexpr std::array<sched::PolicyKind, 4> kSchedKinds = {
+    sched::PolicyKind::kFifo, sched::PolicyKind::kPriority,
+    sched::PolicyKind::kEdf, sched::PolicyKind::kWfq};
+
+TEST(ClusterQos, PerClassLedgerBalancesUnderEveryPolicy) {
+  // The per-class exactly-once invariant: every admitted request of every
+  // class releases its slot exactly once, as a completion or a shed —
+  // whatever order the policy serves them in.
+  for (const sched::PolicyKind kind : kSchedKinds) {
+    RunSpec rs = poisson_spec("round-robin");
+    rs.sched.kind = kind;
+    rs.qos = true;
+    rs.cycle_classes = true;
+    rs.requests = 120;
+    const RunOutput out = run_cluster(rs);
+    ASSERT_TRUE(out.done) << sched::to_string(kind);
+    std::int64_t admitted = 0;
+    for (const Dispatcher::ClassStats& cs : out.cls) {
+      EXPECT_EQ(cs.offered, cs.admitted + cs.dropped) << sched::to_string(kind);
+      EXPECT_EQ(cs.slot_releases, cs.completed + cs.shed)
+          << sched::to_string(kind);
+      EXPECT_EQ(cs.slot_releases, cs.admitted) << sched::to_string(kind);
+      EXPECT_GT(cs.offered, 0) << sched::to_string(kind);
+      admitted += cs.admitted;
+    }
+    EXPECT_EQ(admitted, out.stats.admitted) << sched::to_string(kind);
+  }
+}
+
+TEST(ClusterQos, LedgerHoldsUnderOverloadWithDropsAndEvictions) {
+  // Overload with a tight backlog bound: fifo drops at the door; non-fifo
+  // policies may additionally displace parked batch work (evictions). The
+  // ledger must balance either way, and evictions are a subset of sheds.
+  for (const sched::PolicyKind kind : kSchedKinds) {
+    RunSpec rs = poisson_spec("least-outstanding");
+    rs.sched.kind = kind;
+    rs.qos = true;
+    rs.cycle_classes = true;
+    rs.arrival.rate_per_sec = 5.0e6;
+    rs.profile.compute_cycles = 200000.0;
+    rs.profile.stall_cycles = 400000.0;
+    rs.requests = 256;
+    rs.queue_limit = 8;
+    rs.num_smms = 1;
+    const RunOutput out = run_cluster(rs);
+    ASSERT_TRUE(out.done) << sched::to_string(kind);
+    EXPECT_GT(out.stats.dropped, 0) << sched::to_string(kind);
+    for (const Dispatcher::ClassStats& cs : out.cls) {
+      EXPECT_EQ(cs.offered, cs.admitted + cs.dropped) << sched::to_string(kind);
+      EXPECT_EQ(cs.slot_releases, cs.completed + cs.shed)
+          << sched::to_string(kind);
+      EXPECT_EQ(cs.slot_releases, cs.admitted) << sched::to_string(kind);
+      EXPECT_LE(cs.evicted, cs.shed) << sched::to_string(kind);
+    }
+    if (kind == sched::PolicyKind::kFifo) {
+      EXPECT_EQ(out.stats.evicted, 0);
+    }
+  }
+}
+
+TEST(ClusterQos, SchedMetricsExportedOnlyWhenArmed) {
+  RunSpec rs = poisson_spec("round-robin");
+  rs.requests = 32;
+  const RunOutput plain = run_cluster(rs);
+  ASSERT_TRUE(plain.done);
+  EXPECT_EQ(plain.metrics_json.find("sched."), std::string::npos)
+      << "fifo without --qos must not grow the metrics snapshot";
+
+  rs.qos = true;
+  rs.cycle_classes = true;
+  const RunOutput armed = run_cluster(rs);
+  ASSERT_TRUE(armed.done);
+  for (const char* key :
+       {"sched.interactive.completed", "sched.standard.completed",
+        "sched.batch.completed", "sched.interactive.latency.p99_us",
+        "sched.evicted"}) {
+    EXPECT_NE(armed.metrics_json.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(ClusterQos, NonFifoPoliciesAreDeterministic) {
+  for (const sched::PolicyKind kind : kSchedKinds) {
+    RunSpec rs = poisson_spec("least-loaded");
+    rs.sched.kind = kind;
+    rs.qos = true;
+    rs.cycle_classes = true;
+    const RunOutput a = run_cluster(rs);
+    const RunOutput b = run_cluster(rs);
+    ASSERT_TRUE(a.done && b.done) << sched::to_string(kind);
+    EXPECT_EQ(a.placements, b.placements) << sched::to_string(kind);
+    EXPECT_EQ(a.metrics_json, b.metrics_json) << sched::to_string(kind);
+    EXPECT_EQ(a.end_time, b.end_time) << sched::to_string(kind);
+  }
+}
+
+// --- data-affinity cache eviction order ---------------------------------------
+
+TEST(ClusterCache, LruEvictsLeastRecentlyUsedNotOldestInsert) {
+  sim::Simulation sim;
+  NodeConfig nc;
+  nc.cache_keys = 3;
+  Cluster fleet(sim, {nc});
+  GpuNode& n = fleet.node(0);
+  n.cache_insert(1);
+  n.cache_insert(2);
+  n.cache_insert(3);
+  // Touch 1: under FIFO eviction it would still die first; under LRU it is
+  // now the most recently used and key 2 is the victim.
+  n.cache_touch(1);
+  n.cache_insert(4);
+  EXPECT_TRUE(n.cache_contains(1));
+  EXPECT_FALSE(n.cache_contains(2));
+  EXPECT_TRUE(n.cache_contains(3));
+  EXPECT_TRUE(n.cache_contains(4));
+  // Reinserting a resident key promotes it instead of duplicating it.
+  n.cache_insert(3);
+  n.cache_insert(5);  // LRU order is now [1, 4, 3]: evicts 1
+  EXPECT_FALSE(n.cache_contains(1));
+  EXPECT_TRUE(n.cache_contains(4));
+  // cache_contains is a pure read: probing 4 must not save it. Next victim
+  // is still 4.
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(n.cache_contains(4));
+  n.cache_insert(6);
+  EXPECT_FALSE(n.cache_contains(4));
+  EXPECT_TRUE(n.cache_contains(3) && n.cache_contains(5) &&
+              n.cache_contains(6));
+  n.cache_clear();
+  for (const std::uint64_t k : {3ull, 5ull, 6ull}) {
+    EXPECT_FALSE(n.cache_contains(k));
+  }
+}
 
 // --- traffic parsing ----------------------------------------------------------
 

@@ -75,6 +75,53 @@ TEST(WorkloadConfig, BlocksPerTaskRedistributesConstantWork) {
   EXPECT_NEAR(one, four, one * 0.05);
 }
 
+TEST(WorkloadConfig, IrregularSizesComposeWithMultiBlockTasks) {
+  // Fig 8 x Fig 9: irregular per-task sizes must survive blocks_per_task
+  // redistribution — every task keeps its own size while spanning the
+  // requested block count.
+  auto wl = make_workload("3DES");
+  WorkloadConfig cfg;
+  cfg.num_tasks = 48;
+  cfg.irregular_sizes = true;
+  cfg.blocks_per_task = 4;
+  cfg.mode = gpu::ExecMode::Model;
+  wl->generate(cfg);
+  double min_ops = 1e300;
+  double max_ops = 0.0;
+  for (const TaskSpec& t : wl->tasks()) {
+    EXPECT_EQ(t.params.num_blocks, 4);
+    EXPECT_EQ(t.params.threads_per_block % 32, 0);
+    min_ops = std::min(min_ops, t.cpu_ops);
+    max_ops = std::max(max_ops, t.cpu_ops);
+  }
+  EXPECT_LT(min_ops, max_ops) << "irregular sizes must vary task weight";
+}
+
+TEST(WorkloadConfig, DynamicThreadsComposeWithMultiBlockTasks) {
+  // Dynamic thread selection picks the per-BLOCK width; the block count
+  // stays the configured blocks_per_task, so total threads vary with task
+  // size while the grid shape is respected.
+  auto wl = make_workload("3DES");
+  WorkloadConfig cfg;
+  cfg.num_tasks = 48;
+  cfg.irregular_sizes = true;
+  cfg.dynamic_threads = true;
+  cfg.blocks_per_task = 2;
+  cfg.mode = gpu::ExecMode::Model;
+  wl->generate(cfg);
+  int min_t = 1 << 20;
+  int max_t = 0;
+  for (const TaskSpec& t : wl->tasks()) {
+    EXPECT_EQ(t.params.num_blocks, 2);
+    EXPECT_EQ(t.params.threads_per_block % 32, 0);
+    EXPECT_GE(t.params.threads_per_block, 32);
+    EXPECT_LE(t.params.threads_per_block, 256);
+    min_t = std::min(min_t, t.params.threads_per_block);
+    max_t = std::max(max_t, t.params.threads_per_block);
+  }
+  EXPECT_LT(min_t, max_t) << "thread counts should track irregular sizes";
+}
+
 TEST(WorkloadConfig, InputScaleChangesTaskWeight) {
   auto weigh = [](int scale) {
     auto wl = make_workload("MM");

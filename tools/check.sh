@@ -36,9 +36,52 @@ cluster_smoke() {
   fi
   # pagoda_cli exits nonzero here by design; || true keeps pipefail happy.
   ("${dir}/tools/pagoda_cli" --workload=MM --gpus=2 --policy=bogus 2>&1 || true) |
-    grep -q "valid policies"
+    grep -q "invalid value for --policy.*round-robin"
   ("${dir}/tools/pagoda_cli" --workload=MM --gpus=2 --arrival=sawtooth 2>&1 || true) |
     grep -q "poisson:RATE"
+}
+
+qos_smoke() {
+  local dir="$1"
+  echo "==> qos smoke ${dir}"
+  # Every policy must drive the cluster end-to-end.
+  for pol in fifo priority edf wfq; do
+    "${dir}/tools/pagoda_cli" --workload=MM --tasks=256 --gpus=2 \
+        --policy=least-loaded --arrival=poisson:150000 --slo-us=5000 \
+        --sched-policy="${pol}" >/dev/null
+  done
+  # Per-class sched.* metrics must appear once any QoS flag arms them.
+  # (Capture then grep: grep -q closing the pipe early would SIGPIPE the
+  # CLI under pipefail.)
+  local out
+  out=$("${dir}/tools/pagoda_cli" --workload=MM --tasks=256 --gpus=1 \
+      --sched-policy=priority --class=interactive --metrics)
+  grep -q "sched.interactive.completed" <<<"${out}"
+  # Single-device Pagoda takes the same flags (spawn + claim order).
+  "${dir}/tools/pagoda_cli" --workload=MM --tasks=256 --sched-policy=edf \
+      >/dev/null
+  "${dir}/tools/pagoda_cli" --workload=MM --tasks=256 --sched-policy=wfq \
+      --weights=5,2,1 >/dev/null
+  out=$("${dir}/tools/pagoda_cli" --list-workloads)
+  grep -q "SLUD" <<<"${out}"
+  # Strict validation: bad values fail fast and print the choices.
+  if "${dir}/tools/pagoda_cli" --workload=MM --sched-policy=sjf \
+      >/dev/null 2>&1; then
+    echo "error: bad --sched-policy unexpectedly accepted" >&2
+    exit 1
+  fi
+  ("${dir}/tools/pagoda_cli" --workload=MM --sched-policy=sjf 2>&1 || true) |
+    grep -q "invalid value for --sched-policy"
+  if "${dir}/tools/pagoda_cli" --workload=MM --sched-policy=edf \
+      --weights=1,2,3 >/dev/null 2>&1; then
+    echo "error: --weights without wfq unexpectedly accepted" >&2
+    exit 1
+  fi
+  if "${dir}/tools/pagoda_cli" --workload=MM --sched-policy=wfq \
+      --weights=1,0,1 >/dev/null 2>&1; then
+    echo "error: non-positive --weights unexpectedly accepted" >&2
+    exit 1
+  fi
 }
 
 fault_smoke() {
@@ -88,6 +131,29 @@ fault_grep_clean() {
       grep -vE "^[^:]+:[0-9]+: *//" | grep -vE "//.*\bthrow\b" || true)
   if [[ -n "${hits}" ]]; then
     echo "error: naked throw in fault/recovery paths:" >&2
+    echo "${hits}" >&2
+    exit 1
+  fi
+}
+
+sched_grep_clean() {
+  # The sched layer owns every ordering decision: admission queues must be
+  # sched::ReadyQueue (the raw counting semaphore has no policy hook), and
+  # nothing outside src/sched may order on the QoS tags directly.
+  echo "==> sched layering grep"
+  local hits
+  hits=$(grep -rn "sim::Semaphore" --include="*.cpp" --include="*.h" \
+      src/cluster || true)
+  if [[ -n "${hits}" ]]; then
+    echo "error: raw semaphore admission queue in src/cluster (use sched::ReadyQueue):" >&2
+    echo "${hits}" >&2
+    exit 1
+  fi
+  hits=$(grep -rnE "(sched_class|deadline_us) *(<|>)=? " \
+      --include="*.cpp" --include="*.h" src bench tools examples |
+      grep -v "^src/sched/" || true)
+  if [[ -n "${hits}" ]]; then
+    echo "error: ordering on QoS tags outside src/sched:" >&2
     echo "${hits}" >&2
     exit 1
   fi
@@ -144,8 +210,10 @@ wallclock_gate() {
 run_pass build-release -DCMAKE_BUILD_TYPE=Release -DPAGODA_WERROR=ON
 cluster_smoke build-release
 fault_smoke build-release
+qos_smoke build-release
 engine_grep_clean
 fault_grep_clean
+sched_grep_clean
 wallclock_gate build-release
 
 echo "==> bench determinism (cluster_scaling)"
@@ -162,12 +230,28 @@ build-release/bench/fault_recovery --tasks=1000 --out=/tmp/pagoda_fault_b.json >
 cmp /tmp/pagoda_fault_a.json /tmp/pagoda_fault_b.json
 rm -f /tmp/pagoda_fault_a.json /tmp/pagoda_fault_b.json
 
+echo "==> bench determinism + QoS isolation gate (qos_isolation)"
+# The bench CHECKs interactive p99 under edf AND priority >= 2x better than
+# fifo at equal batch goodput, per seed; two runs must be byte-identical.
+build-release/bench/qos_isolation --tasks=1024 --out=/tmp/pagoda_sched_a.json >/dev/null
+build-release/bench/qos_isolation --tasks=1024 --out=/tmp/pagoda_sched_b.json >/dev/null
+cmp /tmp/pagoda_sched_a.json /tmp/pagoda_sched_b.json
+rm -f /tmp/pagoda_sched_a.json /tmp/pagoda_sched_b.json
+
 if [[ "${1:-}" != "--fast" ]]; then
   run_pass build-asan \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     "-DPAGODA_SANITIZE=${SANITIZERS}"
   cluster_smoke build-asan
   fault_smoke build-asan
+  qos_smoke build-asan
+  echo "==> qos_isolation determinism under sanitizers"
+  build-asan/bench/qos_isolation --tasks=512 --seeds=2 \
+      --out=/tmp/pagoda_sched_a.json >/dev/null
+  build-asan/bench/qos_isolation --tasks=512 --seeds=2 \
+      --out=/tmp/pagoda_sched_b.json >/dev/null
+  cmp /tmp/pagoda_sched_a.json /tmp/pagoda_sched_b.json
+  rm -f /tmp/pagoda_sched_a.json /tmp/pagoda_sched_b.json
 fi
 
 echo "==> all checks passed"

@@ -18,7 +18,10 @@
 // grids and counter tracks; `--trace` dumps the raw event trace for ANY
 // runtime — the Pagoda protocol trace for Pagoda runtimes, the generic
 // timeline for the rest.
+#include <array>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -35,6 +38,7 @@
 #include "harness/flags.h"
 #include "obs/collector.h"
 #include "pagoda/trace.h"
+#include "sched/policy.h"
 
 using namespace pagoda;
 using harness::Flags;
@@ -58,6 +62,9 @@ int list_options() {
       "           --metrics[=out.json] --metrics-period=US\n"
       "           --profile[=out.json] --trace=out.csv "
       "--trace-format=csv|chrome\n"
+      "           --list-workloads   (Table 3 traits per workload)\n"
+      "qos:       --sched-policy=fifo|priority|edf|wfq\n"
+      "           --class=interactive|standard|batch --weights=A,B,C (wfq)\n"
       "cluster:   --gpus=N | --gpus=titanx,k40,...   (selects the Cluster "
       "runtime)\n"
       "           --policy=NAME --arrival=SPEC --slo-us=X --queue-limit=N\n"
@@ -140,24 +147,76 @@ std::vector<gpu::GpuSpec> parse_gpus(const std::string& v) {
   return specs;
 }
 
+/// --weights= value: three comma-separated positive finite doubles
+/// (interactive,standard,batch). nullopt on anything else.
+std::optional<std::array<double, sched::kNumClasses>> parse_weights(
+    const std::string& v) {
+  std::array<double, sched::kNumClasses> w{};
+  std::size_t pos = 0;
+  for (int i = 0; i < sched::kNumClasses; ++i) {
+    const std::size_t comma = v.find(',', pos);
+    const bool last = i == sched::kNumClasses - 1;
+    if (last != (comma == std::string::npos)) return std::nullopt;
+    const std::string part = v.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    errno = 0;
+    char* end = nullptr;
+    w[static_cast<std::size_t>(i)] = std::strtod(part.c_str(), &end);
+    if (errno != 0 || part.empty() || end != part.c_str() + part.size() ||
+        !(w[static_cast<std::size_t>(i)] > 0.0) ||
+        !std::isfinite(w[static_cast<std::size_t>(i)])) {
+      return std::nullopt;
+    }
+    pos = comma + 1;
+  }
+  return w;
+}
+
+/// --list-workloads: one row per benchmark with its Table-3 shape — default
+/// task dimensions, register/shared-memory footprint, and dependency-wave
+/// depth (generated at a small task count; the traits don't depend on it).
+int list_workloads() {
+  std::printf("%-6s %12s %6s %10s %6s  %s\n", "name", "threads/task", "regs",
+              "shmem", "waves", "traits");
+  for (const std::string_view name : workloads::all_workload_names()) {
+    std::unique_ptr<workloads::Workload> w = workloads::make_workload(name);
+    workloads::WorkloadConfig cfg;
+    cfg.num_tasks = 16;
+    w->generate(cfg);
+    const workloads::WorkloadTraits tr = w->traits();
+    const workloads::TaskSpec& t = w->tasks().front();
+    std::string traits;
+    if (tr.irregular) traits += "irregular ";
+    if (tr.may_use_shared) traits += "shared-mem ";
+    if (tr.needs_sync) traits += "block-sync ";
+    std::printf("%-6s %12d %6d %9dB %6d  %s\n", std::string(name).c_str(),
+                t.params.threads_per_block * t.params.num_blocks,
+                t.regs_per_thread, t.params.shared_mem_bytes, w->max_wave() + 1,
+                traits.empty() ? "-" : traits.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   common::tune_allocator_for_batch_runs();
   const Flags flags(argc, argv);
   const std::string bad = flags.unknown(
-      {"list", "help", "workload", "runtime", "tasks", "threads", "seed",
-       "input", "blocks", "irregular", "dynamic-threads", "no-shmem",
-       "compute", "no-copies", "batch", "rows", "two-copy", "trace",
-       "trace-format", "metrics", "metrics-period", "profile", "gpus",
-       "policy", "arrival", "slo-us", "queue-limit", "faults", "retry-budget",
-       "task-timeout-us"});
+      {"list", "list-workloads", "help", "workload", "runtime", "tasks",
+       "threads", "seed", "input", "blocks", "irregular", "dynamic-threads",
+       "no-shmem", "compute", "no-copies", "batch", "rows", "two-copy",
+       "trace", "trace-format", "metrics", "metrics-period", "profile",
+       "gpus", "policy", "arrival", "slo-us", "queue-limit", "faults",
+       "retry-budget", "task-timeout-us", "sched-policy", "class",
+       "weights"});
   if (!bad.empty()) {
     std::fprintf(stderr, "error: unknown argument '%s' (try --help)\n",
                  bad.c_str());
     return 1;
   }
   if (flags.has("list") || flags.has("help")) return list_options();
+  if (flags.has("list-workloads")) return list_workloads();
 
   const std::string wl = flags.get("workload", "MM");
   // Any cluster flag selects the Cluster runtime; --runtime=Cluster works
@@ -201,6 +260,41 @@ int main(int argc, char** argv) {
       static_cast<int>(flags.get_int("rows", 32));
   rcfg.pagoda.two_copy_spawn = flags.has("two-copy");
 
+  // QoS scheduling: one --sched-policy flag drives every layer that orders
+  // work (cluster admission, host spawn order, scheduler-warp claim order).
+  const bool qos_flags = flags.has("sched-policy") || flags.has("class") ||
+                         flags.has("weights");
+  if (qos_flags && (multi || !(pagoda_rt || want_cluster))) {
+    std::fprintf(stderr,
+                 "error: --sched-policy/--class/--weights need a single "
+                 "Pagoda, PagodaBatching or Cluster runtime\n");
+    return 1;
+  }
+  rcfg.pagoda.sched.kind = *sched::parse_policy_kind(flags.get_enum(
+      "sched-policy", "fifo", {"fifo", "priority", "edf", "wfq"}));
+  rcfg.task_class = *sched::parse_class(flags.get_enum(
+      "class", "standard", {"interactive", "standard", "batch"}));
+  if (flags.has("weights")) {
+    if (rcfg.pagoda.sched.kind != sched::PolicyKind::kWfq) {
+      std::fprintf(stderr,
+                   "error: --weights only applies to --sched-policy=wfq\n");
+      return 1;
+    }
+    const std::optional<std::array<double, sched::kNumClasses>> w =
+        parse_weights(flags.get("weights"));
+    if (!w.has_value()) {
+      std::fprintf(stderr,
+                   "error: bad --weights '%s' (want three positive numbers: "
+                   "interactive,standard,batch — e.g. --weights=4,2,1)\n",
+                   flags.get("weights").c_str());
+      return 1;
+    }
+    rcfg.pagoda.sched.weights = *w;
+  }
+  rcfg.cluster.sched = rcfg.pagoda.sched;
+  rcfg.cluster.default_class = rcfg.task_class;
+  rcfg.cluster.qos = qos_flags;  // arm sched.* export even under fifo
+
   if (want_cluster) {
     rcfg.cluster.specs = parse_gpus(flags.get("gpus", "1"));
     if (rcfg.cluster.specs.empty()) {
@@ -210,17 +304,12 @@ int main(int argc, char** argv) {
                    flags.get("gpus").c_str());
       return 1;
     }
-    rcfg.cluster.policy = flags.get("policy", "round-robin");
-    if (cluster::make_policy(rcfg.cluster.policy) == nullptr) {
-      std::fprintf(stderr, "error: unknown --policy '%s'; valid policies:",
-                   rcfg.cluster.policy.c_str());
-      for (const std::string_view p : cluster::all_policy_names()) {
-        std::fprintf(stderr, " %s", std::string(p).c_str());
-      }
-      std::fprintf(stderr, "\n");
-      return 1;
-    }
-    rcfg.cluster.arrival = flags.get("arrival", "closed");
+    rcfg.cluster.policy =
+        flags.get_enum("policy", "round-robin", cluster::all_policy_names());
+    // get_enum validated the arrival *kind*; the rate/factor tail still
+    // needs the full parser.
+    rcfg.cluster.arrival = flags.get_enum(
+        "arrival", "closed", {"closed", "poisson:RATE", "bursty:RATE[:FACTOR]"});
     if (!cluster::ArrivalConfig::parse(rcfg.cluster.arrival).has_value()) {
       std::fprintf(stderr,
                    "error: bad --arrival '%s'; valid forms: %s\n",
@@ -381,9 +470,10 @@ int main(int argc, char** argv) {
               rcfg.include_data_copies ? "" : ", no data copies");
   std::printf("runtime    %s\n", rt.c_str());
   if (want_cluster) {
-    std::printf("cluster    %zu GPU(s), policy %s, arrival %s\n",
+    std::printf("cluster    %zu GPU(s), policy %s, arrival %s, sched %s\n",
                 rcfg.cluster.specs.size(), rcfg.cluster.policy.c_str(),
-                rcfg.cluster.arrival.c_str());
+                rcfg.cluster.arrival.c_str(),
+                std::string(sched::to_string(rcfg.cluster.sched.kind)).c_str());
   }
   std::printf("mode       %s\n",
               rcfg.mode == gpu::ExecMode::Compute ? "compute (verified)"
