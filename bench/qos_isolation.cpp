@@ -2,6 +2,13 @@
 // Titan X, swept over every scheduling policy and >= 5 seeds.
 //
 //   qos_isolation [--tasks=N] [--seeds=N] [--seed=BASE] [--out=BENCH_sched.json]
+//                 [--trace-spans=spans.json]
+//
+// --trace-spans arms a passive obs::RequestTracer on the fifo run of the
+// first seed — the run where interactive requests blow their 2 ms SLO —
+// and dumps a pagoda-trace-spans-v1 file for `trace_report --explain-slo`.
+// Tracing never perturbs the simulation, so the BENCH json is identical
+// with or without it.
 //
 // The setup is a sustained overload: open-loop Poisson arrivals above the
 // device's serving rate, 25% small tight-SLO interactive requests
@@ -34,6 +41,7 @@
 #include "engine/session.h"
 #include "harness/flags.h"
 #include "obs/metrics.h"
+#include "obs/trace_span.h"
 #include "sched/policy.h"
 #include "sim/process.h"
 
@@ -132,8 +140,10 @@ sim::Process drainer(RunBox& box) {
   box.done = true;
 }
 
-Outcome run_scenario(const Scenario& sc) {
+Outcome run_scenario(const Scenario& sc,
+                     obs::RequestTracer* tracer = nullptr) {
   RunBox box(sc);
+  if (tracer != nullptr) box.disp.set_tracer(tracer);
   box.fleet.start();
   box.sim.spawn(source(box, sc));
   box.sim.spawn(drainer(box));
@@ -196,8 +206,8 @@ void write_outcome_json(std::ostream& os, const Outcome& o) {
 
 int main(int argc, char** argv) {
   const harness::Flags flags(argc, argv);
-  const std::string bad =
-      flags.unknown({"tasks", "seeds", "seed", "rate", "out", "help"});
+  const std::string bad = flags.unknown(
+      {"tasks", "seeds", "seed", "rate", "out", "trace-spans", "help"});
   if (!bad.empty()) {
     std::fprintf(stderr, "error: unknown argument '%s'\n", bad.c_str());
     return 1;
@@ -205,7 +215,7 @@ int main(int argc, char** argv) {
   if (flags.has("help")) {
     std::printf(
         "qos_isolation [--tasks=N] [--seeds=N] [--seed=BASE] "
-        "[--rate=REQ_PER_S] [--out=FILE]\n");
+        "[--rate=REQ_PER_S] [--out=FILE] [--trace-spans=FILE]\n");
     return 0;
   }
   const int requests = static_cast<int>(flags.get_int("tasks", 2048));
@@ -214,6 +224,30 @@ int main(int argc, char** argv) {
   const auto base_seed =
       static_cast<std::uint64_t>(flags.get_int("seed", 0x9A60DA));
   const std::string out_path = flags.get("out", "BENCH_sched.json");
+  const bool want_spans = flags.has("trace-spans");
+  const std::string spans_path = flags.get("trace-spans");
+  if (want_spans && spans_path.empty()) {
+    std::fprintf(stderr, "error: --trace-spans needs a file path\n");
+    return 1;
+  }
+
+  // Fail fast on unwritable output paths, before any simulation runs.
+  std::ofstream json(out_path);
+  if (!json) {
+    std::fprintf(stderr, "error: --out: cannot open output path '%s'\n",
+                 out_path.c_str());
+    return 2;
+  }
+  std::ofstream spans_out;
+  if (want_spans) {
+    spans_out.open(spans_path);
+    if (!spans_out) {
+      std::fprintf(stderr,
+                   "error: --trace-spans: cannot open output path '%s'\n",
+                   spans_path.c_str());
+      return 2;
+    }
+  }
 
   // Interactive: small, short, 2 ms SLO. Batch: wide and ~25x the service
   // demand, no deadline. The Poisson rate sits well above the mixed-traffic
@@ -242,7 +276,6 @@ int main(int argc, char** argv) {
   std::printf("%-6s %-10s %12s %12s %12s %12s\n", "seed", "policy",
               "int p99", "int p50", "batch p99", "batch done");
 
-  std::ofstream json(out_path);
   json << "{\n  \"bench\": \"qos_isolation\", \"requests\": " << requests
        << ", \"seeds\": " << num_seeds << ", \"base_seed\": " << base_seed
        << ",\n  \"runs\": [\n";
@@ -251,6 +284,7 @@ int main(int argc, char** argv) {
   double worst_edf_gain = 0.0;
   double worst_prio_gain = 0.0;
   bool have_worst = false;
+  obs::RequestTracer tracer;
   for (int s = 0; s < num_seeds; ++s) {
     const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(s);
     std::array<Outcome, kPolicies.size()> outs;
@@ -258,7 +292,10 @@ int main(int argc, char** argv) {
       Scenario sc = proto;
       sc.policy = kPolicies[p];
       sc.seed = seed;
-      outs[p] = run_scenario(sc);
+      // Trace the fifo run of the first seed: the one with SLO casualties.
+      const bool traced = want_spans && s == 0 &&
+                          kPolicies[p] == sched::PolicyKind::kFifo;
+      outs[p] = run_scenario(sc, traced ? &tracer : nullptr);
       std::printf("%-6llu %-10s %10.1fus %10.1fus %10.1fus %12lld\n",
                   static_cast<unsigned long long>(seed),
                   std::string(sched::to_string(sc.policy)).c_str(),
@@ -303,5 +340,12 @@ int main(int argc, char** argv) {
               "priority %.2fx (floor 2x)\n",
               worst_edf_gain, worst_prio_gain);
   std::printf("-> %s\n", out_path.c_str());
+  if (want_spans) {
+    tracer.write_json(spans_out);
+    std::printf("spans      %zu requests (fifo, seed %llu) -> %s\n",
+                tracer.records().size(),
+                static_cast<unsigned long long>(base_seed),
+                spans_path.c_str());
+  }
   return 0;
 }

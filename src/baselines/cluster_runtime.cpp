@@ -149,6 +149,9 @@ class ClusterDriver final : public TaskRuntime {
                                                     node_prefix(i));
       }
       st.dispatcher.install_sampler(*cfg.collector);
+      if (cfg.collector->spans_enabled()) {
+        st.dispatcher.set_tracer(&cfg.collector->request_tracer());
+      }
     }
     st.fleet.start();
     st.sim.spawn(source(st, cfg, w.tasks(), *acfg));

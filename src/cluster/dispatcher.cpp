@@ -9,6 +9,7 @@
 #include "obs/collector.h"
 #include "obs/metrics.h"
 #include "obs/qos.h"
+#include "obs/trace_span.h"
 #include "sim/process.h"
 
 namespace pagoda::cluster {
@@ -186,6 +187,10 @@ void Dispatcher::offer(Request r) {
       stats_.dropped += 1;
       cstats(r.cls).dropped += 1;
       if (r.slo > 0) stats_.slo_violations += 1;
+      // Dropped requests never consume a uid (that would shift the uid
+      // stream of admitted requests and change seeded fault decisions);
+      // the tracer keys them by offer ordinal instead.
+      if (tracer_ != nullptr) tracer_->on_dropped(r.cls, r.slo, sim().now());
       return;
     }
   }
@@ -196,6 +201,7 @@ void Dispatcher::offer(Request r) {
     stats_.dropped += 1;
     cstats(r.cls).dropped += 1;
     if (r.slo > 0) stats_.slo_violations += 1;
+    if (tracer_ != nullptr) tracer_->on_dropped(r.cls, r.slo, sim().now());
     return;
   }
   PAGODA_CHECK_MSG(node_index < cluster_->size(),
@@ -205,6 +211,9 @@ void Dispatcher::offer(Request r) {
   cls_in_flight_[static_cast<std::size_t>(sched::index(r.cls))] += 1;
   stamp_qos_tags(r, sim().now());
   Attempt a{std::move(r), sim().now(), 1, next_uid_++};
+  if (tracer_ != nullptr) {
+    tracer_->on_offered(a.uid, a.r.cls, a.r.slo, a.arrival);
+  }
   placements_.push_back(node_index);
   cluster_->node(node_index).add_outstanding(a.r.cost);
   in_flight_ += 1;
@@ -230,6 +239,7 @@ void Dispatcher::dispatch_attempt(Attempt a) {
 sim::Process Dispatcher::serve(Attempt a, int node_index) {
   GpuNode& node = cluster_->node(node_index);
   NodeState& ns = node_state_[static_cast<std::size_t>(node_index)];
+  if (tracer_ != nullptr) tracer_->on_serve(a.uid, node_index, sim().now());
 
   // Backpressure: at most `capacity` requests per device own a TaskTable
   // entry or an input copy at once; the rest queue here, in policy order
@@ -241,6 +251,7 @@ sim::Process Dispatcher::serve(Attempt a, int node_index) {
   if (grant.evicted) {
     // Displaced by a more urgent arrival (try_evict_for): resolve as a shed
     // so the exactly-once ledger balances.
+    if (tracer_ != nullptr) tracer_->on_admission_block(a.uid, sim().now());
     node.abandon_outstanding(a.r.cost);
     shed_request(std::move(a), fault::FailureCause::kEvicted);
     co_return;
@@ -248,6 +259,10 @@ sim::Process Dispatcher::serve(Attempt a, int node_index) {
   if (!grant.granted) {
     // The node died while this attempt queued: no slot was held. Re-place
     // on a healthy peer without charging the retry budget.
+    if (tracer_ != nullptr) {
+      tracer_->on_admission_block(a.uid, sim().now());
+      tracer_->on_redispatch(a.uid);
+    }
     node.abandon_outstanding(a.r.cost);
     stats_.redispatched += 1;
     fault_event("redispatch");
@@ -255,6 +270,7 @@ sim::Process Dispatcher::serve(Attempt a, int node_index) {
     co_return;
   }
   stats_.slot_acquires += 1;
+  if (tracer_ != nullptr) tracer_->on_granted(a.uid, sim().now());
 
   if (a.r.h2d_bytes > 0) {
     const bool hit = a.r.data_key != 0 && node.cache_contains(a.r.data_key);
@@ -273,10 +289,12 @@ sim::Process Dispatcher::serve(Attempt a, int node_index) {
           });
       co_await trig->wait();
       stats_.h2d_bytes_copied += a.r.h2d_bytes;  // wire was occupied either way
+      if (tracer_ != nullptr) tracer_->on_h2d_done(a.uid, sim().now());
       if (node.health() == fault::NodeHealth::kDead) {
         // The node was declared dead while this copy was on the wire, after
         // the death sweep ran — this attempt is invisible to the sweep, so
         // it must re-place itself (again without charging the budget).
+        if (tracer_ != nullptr) tracer_->on_redispatch(a.uid);
         ns.slots->release();
         node.abandon_outstanding(a.r.cost);
         stats_.redispatched += 1;
@@ -299,10 +317,12 @@ sim::Process Dispatcher::serve(Attempt a, int node_index) {
   const runtime::TaskHandle h = co_await node.rt().task_spawn(a.r.params);
   ns.spawn_epoch += 1;
   ns.activity->notify_all();
+  if (tracer_ != nullptr) tracer_->on_spawned(a.uid, sim().now());
   if (node.health() == fault::NodeHealth::kDead) {
     // Death was detected mid-spawn: the sweep never saw this attempt and
     // any completion of the spawned task will be swallowed. Re-place it;
     // the orphaned TaskTable entry resolves GPU-side on its own.
+    if (tracer_ != nullptr) tracer_->on_redispatch(a.uid);
     ns.slots->release();
     node.abandon_outstanding(a.r.cost);
     stats_.redispatched += 1;
@@ -369,6 +389,7 @@ void Dispatcher::on_task_complete(int node_index, runtime::TaskId id) {
   ns.records[idx] = NodeState::Record{};
   ns.tracked -= 1;
   if (rec.deadline != 0) sim().cancel(rec.deadline);
+  if (tracer_ != nullptr) tracer_->on_exec_done(rec.uid, sim().now());
 
   if (rec.att.r.d2h_bytes > 0) {
     cluster_->node(node_index).d2h_stream().memcpy_async(
@@ -380,6 +401,19 @@ void Dispatcher::on_task_complete(int node_index, runtime::TaskId id) {
   } else {
     finalize(node_index, rec.att);
   }
+}
+
+void Dispatcher::on_task_claimed(int node_index, runtime::TaskId id,
+                                 sim::Time now) {
+  if (tracer_ == nullptr) return;
+  // Claims on a crashed node are invisible to the host, exactly like its
+  // completions; the attempt's time keeps accruing to its current phase
+  // until a deadline or the death sweep resolves it.
+  if (!cluster_->node(node_index).alive()) return;
+  NodeState& ns = node_state_[static_cast<std::size_t>(node_index)];
+  const std::size_t idx = static_cast<std::size_t>(id - runtime::kFirstTaskId);
+  if (idx >= ns.records.size() || !ns.records[idx].active) return;
+  tracer_->on_claimed(ns.records[idx].uid, now);
 }
 
 void Dispatcher::on_deadline(int node_index, std::size_t idx,
@@ -409,6 +443,9 @@ void Dispatcher::attempt_failed(int node_index, Attempt a,
                                 fault::FailureCause cause) {
   cluster_->node(node_index).abandon_outstanding(a.r.cost);
   const sim::Time now = sim().now();
+  // Charge the in-progress phase up to the detection instant, so e.g. a
+  // timeout's wait is attributed to the phase the attempt was stuck in.
+  if (tracer_ != nullptr) tracer_->mark_progress(a.uid, now);
   const int healthy = healthy_nodes();
   const bool budget_left = a.attempt <= cfg_.retry.budget;
   const bool slo_blown = a.r.slo > 0 && now - a.arrival > a.r.slo;
@@ -423,6 +460,7 @@ void Dispatcher::attempt_failed(int node_index, Attempt a,
   }
   stats_.retries += 1;
   fault_event("retry");
+  if (tracer_ != nullptr) tracer_->on_retry(a.uid);
   sim().spawn(retry_later(std::move(a)));
 }
 
@@ -440,8 +478,15 @@ void Dispatcher::shed_request(Attempt a, fault::FailureCause cause) {
   cs.slot_releases += 1;
   cls_in_flight_[static_cast<std::size_t>(sched::index(a.r.cls))] -= 1;
   if (a.r.slo > 0) stats_.slo_violations += 1;
-  (void)cause;
   fault_event("shed");
+  if (tracer_ != nullptr) {
+    tracer_->on_terminal(a.uid,
+                         cause == fault::FailureCause::kEvicted
+                             ? obs::Terminal::kEvicted
+                             : obs::Terminal::kShed,
+                         fault::to_string(cause), sim().now(),
+                         /*slo_late=*/false);
+  }
   in_flight_ -= 1;
   maybe_drained();
 }
@@ -465,10 +510,14 @@ void Dispatcher::finalize(int node_index, Attempt att) {
   cls_latencies_us_[static_cast<std::size_t>(sched::index(att.r.cls))]
       .push_back(sim::to_microseconds(latency));
   spans_.push_back(Span{att.arrival, now});
-  if (att.r.slo > 0 && latency > att.r.slo) {
+  const bool late = att.r.slo > 0 && latency > att.r.slo;
+  if (late) {
     stats_.slo_violations += 1;
     stats_.slo_late += 1;
     cs.slo_late += 1;
+  }
+  if (tracer_ != nullptr) {
+    tracer_->on_terminal(att.uid, obs::Terminal::kCompleted, "", now, late);
   }
 
   maybe_drained();
@@ -534,6 +583,12 @@ void Dispatcher::node_failed(int node_index) {
     node.abandon_outstanding(a.r.cost);
     stats_.redispatched += 1;
     fault_event("redispatch");
+    if (tracer_ != nullptr) {
+      // The time the attempt spent on the dead node stays charged to its
+      // in-progress phase; what follows is re-placement queue wait.
+      tracer_->mark_progress(a.uid, sim().now());
+      tracer_->on_redispatch(a.uid);
+    }
     dispatch_attempt(std::move(a));
   }
   for (auto it = wedged_.begin(); it != wedged_.end();) {
@@ -548,6 +603,10 @@ void Dispatcher::node_failed(int node_index) {
     node.abandon_outstanding(a.r.cost);
     stats_.redispatched += 1;
     fault_event("redispatch");
+    if (tracer_ != nullptr) {
+      tracer_->mark_progress(a.uid, sim().now());
+      tracer_->on_redispatch(a.uid);
+    }
     dispatch_attempt(std::move(a));
   }
 }
@@ -676,6 +735,17 @@ void Dispatcher::export_metrics(obs::MetricsRegistry& m) const {
     if (watchdog_ != nullptr) {
       m.counter("fault.watchdog.probes").set(watchdog_->probes());
     }
+  }
+}
+
+void Dispatcher::set_tracer(obs::RequestTracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ == nullptr) return;
+  for (int i = 0; i < cluster_->size(); ++i) {
+    cluster_->node(i).rt().set_claim_observer(
+        [this, i](runtime::TaskId id, sim::Time now) {
+          on_task_claimed(i, id, now);
+        });
   }
 }
 

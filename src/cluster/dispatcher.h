@@ -85,6 +85,7 @@
 namespace pagoda::obs {
 class Collector;
 class MetricsRegistry;
+class RequestTracer;
 }  // namespace pagoda::obs
 
 namespace pagoda::cluster {
@@ -245,6 +246,13 @@ class Dispatcher {
   /// Call before the run starts.
   void install_sampler(obs::Collector& collector);
 
+  /// Arms per-request causal tracing (--trace-spans). The tracer is owned
+  /// by the caller and must outlive the run; nullptr disarms. Call before
+  /// the run starts. Tracing is PASSIVE: every hook only records virtual
+  /// timestamps, so an armed run's event stream is byte-identical to a
+  /// disarmed one.
+  void set_tracer(obs::RequestTracer* tracer);
+
  private:
   /// One placement of a request on one node. The request's identity (uid,
   /// arrival) is fixed at admission; `attempt` counts executions (1-based)
@@ -324,6 +332,9 @@ class Dispatcher {
 
   void dispatch_attempt(Attempt a);
   void on_task_complete(int node_index, runtime::TaskId id);
+  /// Claim-observer hook (tracing only): resolves the claimed TaskTable
+  /// entry to its request uid and stamps the warp_wait -> exec boundary.
+  void on_task_claimed(int node_index, runtime::TaskId id, sim::Time now);
   void on_deadline(int node_index, std::size_t idx, std::uint64_t uid);
   /// Attempt bookkeeping is already unwound (slot released, record erased)
   /// when this runs; it only un-counts node load and routes retry-vs-shed.
@@ -362,6 +373,7 @@ class Dispatcher {
   sim::Condition drained_;
   sim::Condition work_cv_;  // wakes the parked watchdog on new work
   obs::Collector* collector_ = nullptr;
+  obs::RequestTracer* tracer_ = nullptr;  // nullptr = tracing disarmed
   int fault_track_ = -1;  // lazily interned timeline track
 };
 

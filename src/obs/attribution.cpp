@@ -1,0 +1,182 @@
+#include "obs/attribution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace pagoda::obs {
+
+int dominant_phase_index(const std::array<double, kNumPhases>& buckets_us) {
+  int best = -1;
+  double best_v = 0.0;
+  for (int p = 0; p < kNumPhases; ++p) {
+    const double v = buckets_us[static_cast<std::size_t>(p)];
+    if (v > best_v) {
+      best_v = v;
+      best = p;
+    }
+  }
+  return best;
+}
+
+std::vector<std::pair<Phase, sim::Duration>> critical_path(
+    const RequestTracer::Record& r) {
+  std::vector<std::pair<Phase, sim::Duration>> path;
+  for (const RequestTracer::PhaseSpan& s : r.spans) {
+    if (!path.empty() && path.back().first == s.phase) {
+      path.back().second += s.end - s.start;
+    } else {
+      path.emplace_back(s.phase, s.end - s.start);
+    }
+  }
+  return path;
+}
+
+namespace {
+
+const char* phase_name(int p) {
+  // to_string returns views of string literals, so data() is NUL-terminated.
+  return to_string(static_cast<Phase>(p)).data();
+}
+
+struct ClassAgg {
+  std::int64_t n = 0;
+  double e2e_us = 0.0;
+  std::array<double, kNumPhases> buckets_us{};
+};
+
+void write_class_block(std::ostream& os, const std::string& name,
+                       const ClassAgg& a) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "class=%-12s requests=%lld mean_e2e_us=%.3f\n", name.c_str(),
+                static_cast<long long>(a.n),
+                a.n > 0 ? a.e2e_us / static_cast<double>(a.n) : 0.0);
+  os << buf;
+  os << "  phase            total_us       mean_us    share\n";
+  for (int p = 0; p < kNumPhases; ++p) {
+    const double total = a.buckets_us[static_cast<std::size_t>(p)];
+    const double mean = a.n > 0 ? total / static_cast<double>(a.n) : 0.0;
+    const double share = a.e2e_us > 0.0 ? 100.0 * total / a.e2e_us : 0.0;
+    std::snprintf(buf, sizeof(buf), "  %-14s %11.3f %13.3f  %6.2f%%\n",
+                  phase_name(p), total, mean, share);
+    os << buf;
+  }
+}
+
+}  // namespace
+
+bool AttributionReport::validate(std::string* err) const {
+  for (const RequestSummary& r : requests_) {
+    double sum = 0.0;
+    for (const double b : r.buckets_us) sum += b;
+    // The dump rounds through %.9g: allow only that rounding, scaled to the
+    // magnitudes involved.
+    const double tol = 1e-6 * std::max(1.0, std::abs(r.e2e_us)) + 1e-3;
+    if (std::abs(sum - r.e2e_us) > tol) {
+      if (err != nullptr) {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "uid=%llu: phase buckets sum to %.6f us but e2e is "
+                      "%.6f us",
+                      static_cast<unsigned long long>(r.uid), sum, r.e2e_us);
+        *err = buf;
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+void AttributionReport::write_phase_table(std::ostream& os) const {
+  std::map<std::string, ClassAgg> by_class;
+  ClassAgg all;
+  for (const RequestSummary& r : requests_) {
+    ClassAgg& a = by_class[r.cls];
+    for (ClassAgg* agg : {&a, &all}) {
+      agg->n += 1;
+      agg->e2e_us += r.e2e_us;
+      for (int p = 0; p < kNumPhases; ++p) {
+        agg->buckets_us[static_cast<std::size_t>(p)] +=
+            r.buckets_us[static_cast<std::size_t>(p)];
+      }
+    }
+  }
+  os << "== per-class per-phase attribution ==\n";
+  for (const auto& [name, agg] : by_class) write_class_block(os, name, agg);
+  if (by_class.size() > 1) write_class_block(os, "all", all);
+}
+
+void AttributionReport::write_top_k(std::ostream& os, int k) const {
+  std::vector<const RequestSummary*> order;
+  order.reserve(requests_.size());
+  for (const RequestSummary& r : requests_) order.push_back(&r);
+  std::sort(order.begin(), order.end(),
+            [](const RequestSummary* a, const RequestSummary* b) {
+              if (a->e2e_us != b->e2e_us) return a->e2e_us > b->e2e_us;
+              return a->uid < b->uid;  // deterministic tie-break
+            });
+  if (k < 0) k = 0;
+  const std::size_t n =
+      std::min(order.size(), static_cast<std::size_t>(k));
+  os << "== top " << n << " slowest requests ==\n";
+  char buf[200];
+  for (std::size_t i = 0; i < n; ++i) {
+    const RequestSummary& r = *order[i];
+    std::snprintf(buf, sizeof(buf),
+                  "uid=%llu class=%s terminal=%s%s%s e2e_us=%.3f slo_us=%.3f "
+                  "attempts=%d\n",
+                  static_cast<unsigned long long>(r.uid), r.cls.c_str(),
+                  r.terminal.c_str(), r.cause.empty() ? "" : " cause=",
+                  r.cause.c_str(), r.e2e_us, r.slo_us, r.attempts);
+    os << buf;
+    os << "  critical path:";
+    if (r.path.empty()) os << " (instantaneous)";
+    for (std::size_t j = 0; j < r.path.size(); ++j) {
+      if (j > 0) os << " ->";
+      std::snprintf(buf, sizeof(buf), " %s %.3f", phase_name(r.path[j].first),
+                    r.path[j].second);
+      os << buf;
+    }
+    os << '\n';
+  }
+}
+
+void AttributionReport::write_explain_slo(std::ostream& os) const {
+  os << "== explain-slo ==\n";
+  char buf[200];
+  std::int64_t casualties = 0;
+  for (const RequestSummary& r : requests_) {
+    const bool late = r.slo_late;
+    const bool failed_with_slo = r.terminal != "completed" && r.slo_us > 0.0;
+    if (!late && !failed_with_slo) continue;
+    casualties += 1;
+    const int dom = dominant_phase_index(r.buckets_us);
+    const double share =
+        dom >= 0 && r.e2e_us > 0.0
+            ? 100.0 * r.buckets_us[static_cast<std::size_t>(dom)] / r.e2e_us
+            : 0.0;
+    std::snprintf(buf, sizeof(buf),
+                  "uid=%llu class=%s terminal=%s%s%s e2e_us=%.3f slo_us=%.3f "
+                  "dominant=%s (%.1f%%)\n",
+                  static_cast<unsigned long long>(r.uid), r.cls.c_str(),
+                  r.terminal.c_str(), r.cause.empty() ? "" : " cause=",
+                  r.cause.c_str(), r.e2e_us, r.slo_us,
+                  dom >= 0 ? phase_name(dom) : "none", share);
+    os << buf;
+  }
+  std::map<std::string, std::int64_t> drops;
+  for (const DropSummary& d : dropped_) drops[d.cls] += 1;
+  for (const auto& [cls, n] : drops) {
+    casualties += n;
+    std::snprintf(buf, sizeof(buf),
+                  "dropped class=%s count=%lld dominant=admission_block "
+                  "(refused at admission)\n",
+                  cls.c_str(), static_cast<long long>(n));
+    os << buf;
+  }
+  if (casualties == 0) os << "no SLO casualties: every request met its SLO\n";
+}
+
+}  // namespace pagoda::obs

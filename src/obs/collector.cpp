@@ -408,6 +408,14 @@ void Collector::finish(sim::Time end_time, std::int64_t tasks) {
   for (DeviceSlot& slot : devices_) finish_device(slot, elapsed, end_time);
   for (RuntimeSlot& slot : runtimes_) finish_runtime(slot, elapsed);
 
+  if (cfg_.spans && cfg_.timeline) tracer_.export_to_timeline(timeline_);
+  if (cfg_.timeline) {
+    // Buffer-cap accounting: dropped events are counted, never silent. Only
+    // timeline runs emit the key, so metric goldens stay byte-identical.
+    metrics_.counter("timeline.dropped_events")
+        .set(timeline_.dropped_events());
+  }
+
   if (cpu_ != nullptr && elapsed > 0.0) {
     metrics_.gauge("cpu.busy_fraction")
         .set(cpu_->busy_core_seconds() /

@@ -31,6 +31,7 @@
 #include "common/time_types.h"
 #include "obs/metrics.h"
 #include "obs/timeline.h"
+#include "obs/trace_span.h"
 #include "pagoda/trace.h"
 #include "sim/simulation.h"
 
@@ -55,6 +56,10 @@ struct CollectorConfig {
   /// Record the Pagoda protocol event trace (implied by `timeline` for
   /// Pagoda runs; also used standalone by `pagoda_cli --trace`).
   bool trace = false;
+  /// Record per-request causal span trees (cluster runs only; armed by
+  /// `pagoda_cli --trace-spans`). Costs nothing when off: the dispatcher
+  /// never sees a tracer and every existing output stays byte-identical.
+  bool spans = false;
 };
 
 class Collector {
@@ -69,6 +74,12 @@ class Collector {
   const Timeline& timeline() const { return timeline_; }
   bool timeline_enabled() const { return cfg_.timeline; }
   bool trace_enabled() const { return cfg_.trace || cfg_.timeline; }
+  bool spans_enabled() const { return cfg_.spans; }
+  /// The per-request causal tracer armed by `spans`. The cluster driver
+  /// hands it to the Dispatcher; finish() folds it into the timeline when
+  /// both are enabled.
+  RequestTracer& request_tracer() { return tracer_; }
+  const RequestTracer& request_tracer() const { return tracer_; }
   /// The Pagoda protocol trace recorded when trace_enabled(). Valid for the
   /// Collector's lifetime. Only the default-prefix ("") runtime feeds it —
   /// TaskIds from different devices would collide in one recorder.
@@ -141,6 +152,7 @@ class Collector {
   MetricsRegistry metrics_;
   Timeline timeline_;
   runtime::TraceRecorder trace_;
+  RequestTracer tracer_;
 
   sim::Simulation* sim_ = nullptr;
   std::vector<DeviceSlot> devices_;

@@ -28,18 +28,27 @@ int Timeline::intern(std::string_view name) {
   return id;
 }
 
+bool Timeline::admit() {
+  if (num_events() < max_events_) return true;
+  dropped_events_ += 1;
+  return false;
+}
+
 void Timeline::span(TrackId t, std::string_view name, sim::Time start,
                     sim::Time end) {
   PAGODA_CHECK_MSG(end >= start, "timeline span with negative duration");
+  if (!admit()) return;
   spans_.push_back(Span{t, intern(name), start, end});
 }
 
 void Timeline::instant(TrackId t, std::string_view name, sim::Time time) {
+  if (!admit()) return;
   instants_.push_back(Instant{t, intern(name), time});
 }
 
 void Timeline::counter(std::string_view series, sim::Time time, double value) {
   PAGODA_CHECK_MSG(value >= 0.0, "counter-track values must be non-negative");
+  if (!admit()) return;
   const int id = intern(series);
   // Samples of one series must ride the virtual clock forward.
   auto [it, inserted] = counter_last_time_.try_emplace(id, time);
@@ -51,11 +60,30 @@ void Timeline::counter(std::string_view series, sim::Time time, double value) {
   counter_samples_.push_back(CounterSample{id, time, value});
 }
 
+void Timeline::flow(TrackId t, std::string_view name, std::uint64_t id,
+                    sim::Time time, bool start) {
+  if (!admit()) return;
+  flows_.push_back(Flow{t, intern(name), id, time, start});
+}
+
+void Timeline::async_span(std::string_view name, std::uint64_t id,
+                          sim::Time start, sim::Time end,
+                          std::string_view args_json) {
+  PAGODA_CHECK_MSG(end >= start, "timeline async span with negative duration");
+  if (!admit()) return;
+  async_spans_.push_back(AsyncSpan{
+      intern(name), args_json.empty() ? -1 : intern(args_json), id, start,
+      end});
+}
+
 void Timeline::clear() {
   spans_.clear();
   instants_.clear();
   counter_samples_.clear();
   counter_last_time_.clear();
+  flows_.clear();
+  async_spans_.clear();
+  dropped_events_ = 0;
 }
 
 namespace {
@@ -108,6 +136,32 @@ void Timeline::write_chrome_trace(std::ostream& os) const {
     write_json_string(os, name_of(c.series));
     os << R"(,"ph":"C","ts":)" << format_metric_double(sim::to_microseconds(c.time))
        << R"(,"pid":0,"args":{"value":)" << format_metric_double(c.value) << "}}";
+  }
+  for (const Flow& f : flows_) {
+    comma();
+    os << R"({"name":)";
+    write_json_string(os, name_of(f.name));
+    os << R"(,"cat":"flow","ph":")" << (f.start ? 's' : 'f') << '"';
+    if (!f.start) os << R"(,"bp":"e")";
+    os << R"(,"id":)" << f.id << R"(,"ts":)"
+       << format_metric_double(sim::to_microseconds(f.time))
+       << R"(,"pid":0,"tid":)" << f.track << "}";
+  }
+  for (const AsyncSpan& a : async_spans_) {
+    comma();
+    os << R"({"name":)";
+    write_json_string(os, name_of(a.name));
+    os << R"(,"cat":"request","ph":"b","id":)" << a.id << R"(,"ts":)"
+       << format_metric_double(sim::to_microseconds(a.start))
+       << R"(,"pid":0,"tid":0)";
+    if (a.args >= 0) os << R"(,"args":)" << name_of(a.args);
+    os << "}";
+    comma();
+    os << R"({"name":)";
+    write_json_string(os, name_of(a.name));
+    os << R"(,"cat":"request","ph":"e","id":)" << a.id << R"(,"ts":)"
+       << format_metric_double(sim::to_microseconds(a.end))
+       << R"(,"pid":0,"tid":0})";
   }
   os << "]\n";
 }

@@ -46,14 +46,42 @@ class Timeline {
   /// so this holds by construction; the writer asserts it).
   void counter(std::string_view series, sim::Time time, double value);
 
+  /// One endpoint of a flow arrow (Chrome "s"/"f" events) bound to the
+  /// slice enclosing `time` on `track`. `start` emits the arrow tail.
+  void flow(TrackId track, std::string_view name, std::uint64_t id,
+            sim::Time time, bool start);
+
+  /// A named interval on its own async row, grouped by `id` (Chrome
+  /// nestable "b"/"e" events). `args_json` is a pre-rendered JSON object
+  /// attached to the begin event ("" for none).
+  void async_span(std::string_view name, std::uint64_t id, sim::Time start,
+                  sim::Time end, std::string_view args_json = {});
+
   std::size_t num_spans() const { return spans_.size(); }
   std::size_t num_instants() const { return instants_.size(); }
   std::size_t num_counter_samples() const { return counter_samples_.size(); }
+  std::size_t num_flows() const { return flows_.size(); }
+  std::size_t num_async_spans() const { return async_spans_.size(); }
   std::size_t num_tracks() const { return track_names_.size(); }
   bool empty() const {
-    return spans_.empty() && instants_.empty() && counter_samples_.empty();
+    return spans_.empty() && instants_.empty() && counter_samples_.empty() &&
+           flows_.empty() && async_spans_.empty();
   }
   void clear();
+
+  /// Hard cap on buffered events (spans + instants + counter samples +
+  /// flows + async spans) so long cluster runs can't grow the trace buffer
+  /// unboundedly. Events past the cap are dropped AND counted — never
+  /// silently lost; the Collector exports the count as
+  /// `timeline.dropped_events`.
+  static constexpr std::size_t kDefaultMaxEvents = 1u << 21;  // ~2M events
+  void set_max_events(std::size_t n) { max_events_ = n; }
+  std::size_t max_events() const { return max_events_; }
+  std::int64_t dropped_events() const { return dropped_events_; }
+  std::size_t num_events() const {
+    return spans_.size() + instants_.size() + counter_samples_.size() +
+           flows_.size() + async_spans_.size();
+  }
 
   /// Chrome trace-event JSON: thread-name metadata, "X" duration slices,
   /// "i" instants and "C" counter events. Timestamps in microseconds.
@@ -79,7 +107,23 @@ class Timeline {
     sim::Time time;
     double value;
   };
+  struct Flow {
+    TrackId track;
+    int name;  // interned
+    std::uint64_t id;
+    sim::Time time;
+    bool start;
+  };
+  struct AsyncSpan {
+    int name;  // interned
+    int args;  // interned args JSON; -1 = none
+    std::uint64_t id;
+    sim::Time start;
+    sim::Time end;
+  };
   const std::vector<Span>& spans() const { return spans_; }
+  const std::vector<Flow>& flows() const { return flows_; }
+  const std::vector<AsyncSpan>& async_spans() const { return async_spans_; }
   const std::vector<CounterSample>& counter_samples() const {
     return counter_samples_;
   }
@@ -93,6 +137,8 @@ class Timeline {
 
  private:
   int intern(std::string_view name);
+  /// True when there is room for one more event; counts the drop otherwise.
+  bool admit();
 
   std::vector<std::string> track_names_;
   std::map<std::string, TrackId, std::less<>> track_index_;
@@ -103,6 +149,10 @@ class Timeline {
   std::vector<Span> spans_;
   std::vector<Instant> instants_;
   std::vector<CounterSample> counter_samples_;
+  std::vector<Flow> flows_;
+  std::vector<AsyncSpan> async_spans_;
+  std::size_t max_events_ = kDefaultMaxEvents;
+  std::int64_t dropped_events_ = 0;
 };
 
 }  // namespace pagoda::obs

@@ -226,6 +226,9 @@ sim::Task<bool> MasterKernel::scan_once(Mtb& mtb) {
         entry.sched = 0;
         trace(TraceKind::kScheduled, gpu_table_.id_of(mtb.column, row),
               mtb.column);
+        if (claim_observer_) {
+          claim_observer_(gpu_table_.id_of(mtb.column, row), dev_.sim().now());
+        }
         co_await schedule_entry(mtb, row);
         progress = true;
       } else {
@@ -275,6 +278,9 @@ sim::Task<bool> MasterKernel::claim_in_policy_order(Mtb& mtb) {
     mtb.claim_policy.served(keys[static_cast<std::size_t>(i)]);
     trace(TraceKind::kScheduled, gpu_table_.id_of(mtb.column, row),
           mtb.column);
+    if (claim_observer_) {
+      claim_observer_(gpu_table_.id_of(mtb.column, row), dev_.sim().now());
+    }
     co_await schedule_entry(mtb, row);
     progress = true;
   }

@@ -167,6 +167,14 @@ class MasterKernel {
     completion_observer_ = std::move(obs);
   }
 
+  /// Observer invoked when a scheduler warp claims a TaskTable entry (the
+  /// instant its sched flag clears, before pSched dispatches warps).
+  /// Instrumentation only — the request tracer's warp_wait/exec boundary.
+  using ClaimObserver = std::function<void(TaskId, sim::Time)>;
+  void set_claim_observer(ClaimObserver obs) {
+    claim_observer_ = std::move(obs);
+  }
+
   /// Time-integrated busy executor warps (warp·seconds): the achieved
   /// task-execution occupancy is this / (elapsed * 64 * num_smms).
   double executor_busy_warp_seconds() const;
@@ -254,6 +262,7 @@ class MasterKernel {
   std::int64_t warps_dispatched_ = 0;
   std::int64_t shmem_blocks_swept_ = 0;
   CompletionObserver completion_observer_;
+  ClaimObserver claim_observer_;
   TraceRecorder* trace_ = nullptr;
 
   void trace(TraceKind kind, TaskId task, std::int32_t aux = 0) {

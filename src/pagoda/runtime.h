@@ -102,6 +102,11 @@ class Runtime {
     mk_.set_completion_observer(std::move(obs));
   }
 
+  /// Instrumentation: invoked when a scheduler warp claims a task.
+  void set_claim_observer(MasterKernel::ClaimObserver obs) {
+    mk_.set_claim_observer(std::move(obs));
+  }
+
   /// Optional event tracing (host + GPU sides). Owned by the caller; must
   /// outlive the Runtime. nullptr disables tracing.
   void set_trace_recorder(TraceRecorder* trace) {

@@ -119,6 +119,43 @@ fault_smoke() {
   fi
 }
 
+trace_smoke() {
+  local dir="$1"
+  echo "==> trace smoke ${dir}"
+  # End-to-end span pipeline: a faulty cluster run dumps spans, the offline
+  # analyzer re-checks the bucket-sum invariant and prints per-class
+  # attribution; the dump must be byte-identical across reruns.
+  "${dir}/tools/pagoda_cli" --workload=MM --tasks=512 --gpus=2 \
+      --policy=least-loaded --arrival=poisson:150000 --slo-us=5000 \
+      --faults=task:0.05,xfer:0.02 --trace-spans=/tmp/pagoda_spans_a.json \
+      >/dev/null
+  "${dir}/tools/pagoda_cli" --workload=MM --tasks=512 --gpus=2 \
+      --policy=least-loaded --arrival=poisson:150000 --slo-us=5000 \
+      --faults=task:0.05,xfer:0.02 --trace-spans=/tmp/pagoda_spans_b.json \
+      >/dev/null
+  cmp /tmp/pagoda_spans_a.json /tmp/pagoda_spans_b.json
+  local out
+  out=$("${dir}/tools/trace_report" --in=/tmp/pagoda_spans_a.json --top=3)
+  grep -q "class=" <<<"${out}"          # non-empty attribution table
+  grep -q "critical path:" <<<"${out}"  # top-K slowest with paths
+  rm -f /tmp/pagoda_spans_a.json /tmp/pagoda_spans_b.json
+  # Unwritable output paths must fail fast with exit 2, BEFORE the run.
+  local rc=0
+  "${dir}/tools/pagoda_cli" --workload=MM --tasks=32 --gpus=2 \
+      --trace-spans=/nonexistent-dir/x.json >/dev/null 2>&1 || rc=$?
+  if [[ "${rc}" != 2 ]]; then
+    echo "error: unwritable --trace-spans path exited ${rc}, want 2" >&2
+    exit 1
+  fi
+  rc=0
+  "${dir}/tools/pagoda_cli" --workload=MM --tasks=32 \
+      --metrics=/nonexistent-dir/x.json >/dev/null 2>&1 || rc=$?
+  if [[ "${rc}" != 2 ]]; then
+    echo "error: unwritable --metrics path exited ${rc}, want 2" >&2
+    exit 1
+  fi
+}
+
 fault_grep_clean() {
   # Recovery paths must never throw: failures flow through
   # fault::FailureCause values so a fault can never unwind the dispatcher
@@ -211,6 +248,7 @@ run_pass build-release -DCMAKE_BUILD_TYPE=Release -DPAGODA_WERROR=ON
 cluster_smoke build-release
 fault_smoke build-release
 qos_smoke build-release
+trace_smoke build-release
 engine_grep_clean
 fault_grep_clean
 sched_grep_clean
@@ -232,11 +270,23 @@ rm -f /tmp/pagoda_fault_a.json /tmp/pagoda_fault_b.json
 
 echo "==> bench determinism + QoS isolation gate (qos_isolation)"
 # The bench CHECKs interactive p99 under edf AND priority >= 2x better than
-# fifo at equal batch goodput, per seed; two runs must be byte-identical.
-build-release/bench/qos_isolation --tasks=1024 --out=/tmp/pagoda_sched_a.json >/dev/null
+# fifo at equal batch goodput, per seed; two runs must be byte-identical —
+# and arming the request tracer on run a must not change a byte of the
+# BENCH json (the tracer is passive).
+build-release/bench/qos_isolation --tasks=1024 --out=/tmp/pagoda_sched_a.json \
+    --trace-spans=/tmp/pagoda_qspans.json >/dev/null
 build-release/bench/qos_isolation --tasks=1024 --out=/tmp/pagoda_sched_b.json >/dev/null
 cmp /tmp/pagoda_sched_a.json /tmp/pagoda_sched_b.json
 rm -f /tmp/pagoda_sched_a.json /tmp/pagoda_sched_b.json
+
+echo "==> SLO debugging gate (trace_report --explain-slo)"
+# The fifo run at this scale blows the interactive 2 ms SLO; every casualty
+# must be attributed to a dominant phase (the fifo story: sched_wait).
+slo_out=$(build-release/tools/trace_report --in=/tmp/pagoda_qspans.json \
+    --explain-slo)
+grep -q "slo_late=" <<<"${slo_out}"
+grep -q "dominant=sched_wait" <<<"${slo_out}"
+rm -f /tmp/pagoda_qspans.json
 
 if [[ "${1:-}" != "--fast" ]]; then
   run_pass build-asan \
@@ -245,6 +295,7 @@ if [[ "${1:-}" != "--fast" ]]; then
   cluster_smoke build-asan
   fault_smoke build-asan
   qos_smoke build-asan
+  trace_smoke build-asan
   echo "==> qos_isolation determinism under sanitizers"
   build-asan/bench/qos_isolation --tasks=512 --seeds=2 \
       --out=/tmp/pagoda_sched_a.json >/dev/null

@@ -69,6 +69,8 @@ int list_options() {
       "runtime)\n"
       "           --policy=NAME --arrival=SPEC --slo-us=X --queue-limit=N\n"
       "           --faults=SPEC --retry-budget=N --task-timeout-us=X\n"
+      "           --trace-spans=out.json   (per-request causal span dump;\n"
+      "            analyze with tools/trace_report)\n"
       "faults:    comma list of task:P | xfer:P | wedge:P |\n"
       "           crash:NODE:T_US[:RECOVER_US] |\n"
       "           degrade:T_US:DUR_US:FACTOR[:NODE] | seed:N\n");
@@ -209,7 +211,7 @@ int main(int argc, char** argv) {
        "trace", "trace-format", "metrics", "metrics-period", "profile",
        "gpus", "policy", "arrival", "slo-us", "queue-limit", "faults",
        "retry-budget", "task-timeout-us", "sched-policy", "class",
-       "weights"});
+       "weights", "trace-spans"});
   if (!bad.empty()) {
     std::fprintf(stderr, "error: unknown argument '%s' (try --help)\n",
                  bad.c_str());
@@ -229,7 +231,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: --gpus only applies to --runtime=Cluster\n");
     return 1;
   }
-  for (const char* f : {"faults", "retry-budget", "task-timeout-us"}) {
+  for (const char* f :
+       {"faults", "retry-budget", "task-timeout-us", "trace-spans"}) {
     if (flags.has(f) && (multi || rts[0] != "Cluster")) {
       std::fprintf(stderr, "error: --%s only applies to --runtime=Cluster\n",
                    f);
@@ -399,6 +402,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: --trace-format must be csv or chrome\n");
     return 1;
   }
+  const bool want_spans = flags.has("trace-spans");
+  const std::string spans_path = flags.get("trace-spans");
+  if (want_spans && spans_path.empty()) {
+    std::fprintf(stderr,
+                 "error: --trace-spans needs a path "
+                 "(--trace-spans=spans.json)\n");
+    return 1;
+  }
   const std::int64_t period_us = flags.get_int("metrics-period", 20);
   if (period_us <= 0) {
     std::fprintf(stderr, "error: --metrics-period must be positive\n");
@@ -455,12 +466,38 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // Fail fast on unwritable output paths BEFORE the run starts: a bad path
+  // must cost an exit 2 up front, not a discarded multi-second simulation.
+  const auto open_output = [](const std::string& path,
+                              const char* flag) -> std::ofstream {
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "error: %s: cannot open output path '%s'\n", flag,
+                   path.c_str());
+      std::exit(2);
+    }
+    return out;
+  };
+  std::optional<std::ofstream> metrics_out;
+  std::optional<std::ofstream> profile_out;
+  std::optional<std::ofstream> trace_out;
+  std::optional<std::ofstream> spans_out;
+  if (want_metrics && !metrics_path.empty()) {
+    metrics_out = open_output(metrics_path, "--metrics");
+  }
+  if (want_profile) profile_out = open_output(profile_path, "--profile");
+  if (want_trace) trace_out = open_output(trace_path, "--trace");
+  if (want_spans) spans_out = open_output(spans_path, "--trace-spans");
+
   obs::CollectorConfig ccfg;
   ccfg.sample_period = sim::microseconds(static_cast<double>(period_us));
   ccfg.timeline = want_profile || (want_trace && !pagoda_rt);
   ccfg.trace = want_trace && pagoda_rt;
+  ccfg.spans = want_spans;
   obs::Collector collector(ccfg);
-  if (want_metrics || want_profile || want_trace) rcfg.collector = &collector;
+  if (want_metrics || want_profile || want_trace || want_spans) {
+    rcfg.collector = &collector;
+  }
 
   const harness::Measurement m = harness::run_experiment(wl, rt, wcfg, rcfg);
 
@@ -495,38 +532,48 @@ int main(int argc, char** argv) {
       std::printf("\n");
       m.metrics.write_text(std::cout);
     } else {
-      std::ofstream out(metrics_path);
-      m.metrics.write_json(out);
+      m.metrics.write_json(*metrics_out);
       std::printf("metrics    -> %s\n", metrics_path.c_str());
     }
   }
   if (want_profile) {
-    std::ofstream out(profile_path);
-    collector.timeline().write_chrome_trace(out);
+    collector.timeline().write_chrome_trace(*profile_out);
     std::printf("profile    %zu spans, %zu counter samples -> %s\n",
                 collector.timeline().num_spans(),
                 collector.timeline().num_counter_samples(),
                 profile_path.c_str());
+    if (collector.timeline().dropped_events() > 0) {
+      std::printf("profile    WARNING: %lld events dropped at the buffer "
+                  "cap\n",
+                  static_cast<long long>(
+                      collector.timeline().dropped_events()));
+    }
   }
   if (want_trace) {
-    std::ofstream out(trace_path);
     if (pagoda_rt) {
       if (trace_format == "chrome") {
-        collector.trace().write_chrome_trace(out);
+        collector.trace().write_chrome_trace(*trace_out);
       } else {
-        collector.trace().write_csv(out);
+        collector.trace().write_csv(*trace_out);
       }
       std::printf("trace      %zu events -> %s\n",
                   collector.trace().events().size(), trace_path.c_str());
     } else {
       if (trace_format == "chrome") {
-        collector.timeline().write_chrome_trace(out);
+        collector.timeline().write_chrome_trace(*trace_out);
       } else {
-        collector.timeline().write_csv(out);
+        collector.timeline().write_csv(*trace_out);
       }
       std::printf("trace      %zu spans -> %s\n",
                   collector.timeline().num_spans(), trace_path.c_str());
     }
+  }
+  if (want_spans) {
+    const obs::RequestTracer& tracer = collector.request_tracer();
+    tracer.write_json(*spans_out);
+    std::printf("spans      %zu requests, %zu dropped -> %s\n",
+                tracer.records().size(), tracer.drops().size(),
+                spans_path.c_str());
   }
   return 0;
 }
