@@ -21,6 +21,7 @@
 #include "fault/plan.h"
 #include "engine/session.h"
 #include "obs/collector.h"
+#include "power/governor.h"
 #include "sim/process.h"
 
 namespace pagoda::baselines {
@@ -93,6 +94,20 @@ struct ClusterRunState {
     dc.task_timeout = cfg.cluster.task_timeout;
     dc.sched = cfg.cluster.sched;
     dc.qos = cfg.cluster.qos;
+    if (!cfg.cluster.power.empty()) {
+      dc.power.spec = power::PowerSpec::parse(cfg.cluster.power, &err);
+      PAGODA_CHECK_MSG(dc.power.spec.has_value(),
+                       "bad --power spec (CLI validates first; direct "
+                       "callers must too)");
+      const std::optional<power::GovernorKind> gov =
+          power::parse_governor(cfg.cluster.governor);
+      PAGODA_CHECK_MSG(gov.has_value(), "unknown power governor");
+      dc.power.governor = *gov;
+      dc.power.cap_watts = cfg.cluster.power_cap_watts;
+      // energy-min packs the fleet precisely so the governor can sleep the
+      // idle tail; the two are one strategy, so packing arms sleep.
+      dc.power.manage_sleep = cfg.cluster.policy == "energy-min";
+    }
     return dc;
   }
 };

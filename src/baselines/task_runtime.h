@@ -64,6 +64,15 @@ struct ClusterOptions {
   sched::Class default_class = sched::Class::kStandard;
   /// Arms per-class sched.* metric export even under fifo.
   bool qos = false;
+  /// Power-model spec (see power::PowerSpec::parse()); "" leaves the power
+  /// plane off and the run byte-identical to a power-unaware build.
+  std::string power;
+  /// Power governor name (see power::all_governor_names()); only read when
+  /// `power` is set.
+  std::string governor = "static";
+  /// Fleet-watt budget for the powercap governor and the power-cap
+  /// placement policy; 0 = uncapped.
+  double power_cap_watts = 0.0;
 };
 
 struct RunConfig {

@@ -31,6 +31,7 @@
 #include "pagoda/master_kernel.h"
 #include "pagoda/runtime.h"
 #include "pcie/pcie_bus.h"
+#include "power/power_model.h"
 #include "sim/simulation.h"
 
 namespace pagoda::cluster {
@@ -142,6 +143,16 @@ class GpuNode {
                   : frozen_completed_;
   }
 
+  // --- power plane (attached by the dispatcher when --power is set) ------
+  /// The node's power model; nullptr when the power plane is off. All state
+  /// transitions go through src/power (the governor) — everything here and
+  /// in placement only READS watts/energy/residency and wake latencies.
+  power::NodePower* power() { return power_.get(); }
+  const power::NodePower* power() const { return power_.get(); }
+  void attach_power(std::unique_ptr<power::NodePower> p) {
+    power_ = std::move(p);
+  }
+
   // --- data-affinity cache ----------------------------------------------
   /// Whether `key` is resident. Pure read (placement probes every node per
   /// request; observation must not mutate recency).
@@ -163,6 +174,7 @@ class GpuNode {
   NodeConfig cfg_;
   engine::Session session_;
   engine::StagePipeline pipe_;  // the node's dedicated H2D/D2H data streams
+  std::unique_ptr<power::NodePower> power_;  // nullptr = power plane off
   bool alive_ = true;
   fault::NodeHealth health_ = fault::NodeHealth::kHealthy;
   std::int64_t frozen_heartbeat_ = 0;
@@ -186,6 +198,7 @@ class Cluster {
   void shutdown();
 
   sim::Simulation& sim() { return *sim_; }
+  const sim::Simulation& sim() const { return *sim_; }
   int size() const { return static_cast<int>(nodes_.size()); }
   GpuNode& node(int i) { return *nodes_[static_cast<std::size_t>(i)]; }
   const GpuNode& node(int i) const {

@@ -22,6 +22,34 @@ std::string dev_key(int index, const char* suffix) {
   return buf;
 }
 
+/// The governor's window onto the dispatcher: pure forwarding over the
+/// public Dispatcher/Cluster/GpuNode surface, so src/power never depends on
+/// src/cluster and the layering gate stays greppable.
+class FleetAdapter final : public power::FleetControl {
+ public:
+  explicit FleetAdapter(Dispatcher& d) : d_(&d) {}
+  int num_nodes() const override { return d_->cluster().size(); }
+  power::NodePower* node_power(int node) override {
+    return d_->cluster().node(node).power();
+  }
+  int node_outstanding(int node) const override {
+    return d_->cluster().node(node).outstanding();
+  }
+  std::int64_t node_free_slots(int node) const override {
+    return d_->free_slots(node);
+  }
+  int queued_backlog() const override { return d_->queued_backlog(); }
+  bool node_eligible(int node) const override {
+    return d_->cluster().node(node).eligible();
+  }
+  bool idle() const override { return d_->idle(); }
+  void quiesce_node(int node) override { d_->drain_node(node); }
+  void restore_node(int node) override { d_->reinstate_node(node); }
+
+ private:
+  Dispatcher* d_;
+};
+
 }  // namespace
 
 Dispatcher::Dispatcher(Cluster& cluster,
@@ -82,6 +110,29 @@ Dispatcher::Dispatcher(Cluster& cluster,
     watchdog_ = std::make_unique<fault::Watchdog>(cfg_.watchdog,
                                                   cluster.size());
     sim().spawn(watchdog_loop());
+  }
+  power_armed_ = cfg_.power.enabled();
+  if (power_armed_) {
+    const power::PowerSpec& spec = *cfg_.power.spec;
+    for (int i = 0; i < cluster.size(); ++i) {
+      GpuNode& node = cluster.node(i);
+      std::vector<gpu::Smm*> smms;
+      smms.reserve(static_cast<std::size_t>(node.device().num_smms()));
+      for (int s = 0; s < node.device().num_smms(); ++s) {
+        smms.push_back(&node.device().smm(s));
+      }
+      auto np =
+          std::make_unique<power::NodePower>(sim(), spec, std::move(smms));
+      np->set_on_transition([this](sim::Time now) { power_edge(now); });
+      node.attach_power(std::move(np));
+    }
+    // Power-aware placement reads the same budget the powercap governor
+    // enforces; a no-op for every other policy.
+    policy_->set_power_cap(cfg_.power.cap_watts);
+    fleet_adapter_ = std::make_unique<FleetAdapter>(*this);
+    governor_ = std::make_unique<power::PowerGovernor>(sim(), cfg_.power,
+                                                       *fleet_adapter_);
+    governor_->start();
   }
 }
 
@@ -271,6 +322,20 @@ sim::Process Dispatcher::serve(Attempt a, int node_index) {
   }
   stats_.slot_acquires += 1;
   if (tracer_ != nullptr) tracer_->on_granted(a.uid, sim().now());
+
+  if (power_armed_) {
+    // The grant may have landed on a node still finishing its S-state
+    // wake-up (the governor reinstates a waking sleeper immediately so
+    // backlog can target it). The residual latency is real wait the
+    // request experiences; it gets its own trace phase so --explain-slo can
+    // attribute deadline misses to power management.
+    const sim::Duration wake = node.power()->wake_remaining(sim().now());
+    if (wake > 0) {
+      stats_.power_wakeup_waits += 1;
+      co_await sim().delay(wake);
+      if (tracer_ != nullptr) tracer_->on_power_wake(a.uid, sim().now());
+    }
+  }
 
   if (a.r.h2d_bytes > 0) {
     const bool hit = a.r.data_key != 0 && node.cache_contains(a.r.data_key);
@@ -515,6 +580,8 @@ void Dispatcher::finalize(int node_index, Attempt att) {
     stats_.slo_violations += 1;
     stats_.slo_late += 1;
     cs.slo_late += 1;
+    // SLAWarning: adaptive governors boost the fleet back to P0.
+    if (governor_ != nullptr) governor_->on_sla_warning(now);
   }
   if (tracer_ != nullptr) {
     tracer_->on_terminal(att.uid, obs::Terminal::kCompleted, "", now, late);
@@ -525,6 +592,7 @@ void Dispatcher::finalize(int node_index, Attempt att) {
 
 void Dispatcher::maybe_drained() {
   if (closed_ && in_flight_ == 0) {
+    if (drained_at_ < 0) drained_at_ = sim().now();
     drained_.notify_all();
     work_cv_.notify_all();  // let the watchdog loop observe the exit state
   }
@@ -533,6 +601,7 @@ void Dispatcher::maybe_drained() {
 void Dispatcher::close() {
   closed_ = true;
   work_cv_.notify_all();
+  maybe_drained();  // an empty run drains at close()
 }
 
 sim::Task<> Dispatcher::drain() {
@@ -656,6 +725,31 @@ void Dispatcher::fault_event(std::string_view name) {
   collector_->timeline().instant(fault_track_, name, sim().now());
 }
 
+// --- power plane ------------------------------------------------------------
+
+double Dispatcher::fleet_watts() const {
+  double w = 0.0;
+  const sim::Time now = cluster_->sim().now();
+  for (int i = 0; i < cluster_->size(); ++i) {
+    if (const power::NodePower* np = cluster_->node(i).power()) {
+      w += np->watts(now);
+    }
+  }
+  return w;
+}
+
+void Dispatcher::power_edge(sim::Time now) {
+  if (collector_ == nullptr) return;
+  // Cut a sample exactly at the edge: a P/C/S transition is a step change
+  // in power draw, and smearing it across a periodic sample window would
+  // blur the residency attribution the energy tests decompose.
+  collector_->edge_sample(now);
+  if (collector_->timeline_enabled()) {
+    if (power_track_ < 0) power_track_ = collector_->timeline().track("power");
+    collector_->timeline().instant(power_track_, "transition", now);
+  }
+}
+
 // --- accounting -------------------------------------------------------------
 
 double Dispatcher::load_imbalance() const {
@@ -736,6 +830,50 @@ void Dispatcher::export_metrics(obs::MetricsRegistry& m) const {
       m.counter("fault.watchdog.probes").set(watchdog_->probes());
     }
   }
+  if (power_armed_) {
+    // Extrapolate to the drain instant, not the (possibly capped) clock.
+    const sim::Time now =
+        drained_at_ >= 0 ? drained_at_ : cluster_->sim().now();
+    double fleet_watts_now = 0.0;
+    double fleet_energy = 0.0;
+    std::int64_t transitions = 0;
+    std::int64_t wakeups = 0;
+    for (int i = 0; i < cluster_->size(); ++i) {
+      const power::NodePower* np = cluster_->node(i).power();
+      if (np == nullptr) continue;
+      const double e = np->energy_joules(now);
+      fleet_watts_now += np->watts(now);
+      fleet_energy += e;
+      transitions += static_cast<std::int64_t>(np->transitions());
+      wakeups += static_cast<std::int64_t>(np->wakeups());
+      m.gauge(dev_key(i, "power.watts")).set(np->watts(now));
+      m.gauge(dev_key(i, "power.energy_j")).set(e);
+      m.counter(dev_key(i, "power.p_state")).set(np->p_state());
+      m.counter(dev_key(i, "power.s_state")).set(np->s_state());
+      m.gauge(dev_key(i, "power.awake_s"))
+          .set(np->s_residency_seconds(0, now));
+    }
+    m.gauge("power.fleet.watts").set(fleet_watts_now);
+    m.gauge("power.fleet.energy_j").set(fleet_energy);
+    m.counter("power.transitions").set(transitions);
+    m.counter("power.wakeups").set(wakeups);
+    m.counter("power.wakeup_waits").set(stats_.power_wakeup_waits);
+    if (stats_.completed > 0) {
+      m.gauge("power.joules_per_request")
+          .set(fleet_energy / static_cast<double>(stats_.completed));
+    }
+    if (governor_ != nullptr) {
+      const power::PowerGovernor::Stats& gs = governor_->stats();
+      m.counter("power.governor.checks")
+          .set(static_cast<std::int64_t>(gs.checks));
+      m.counter("power.governor.sla_warnings")
+          .set(static_cast<std::int64_t>(gs.sla_warnings));
+      m.counter("power.governor.nodes_slept")
+          .set(static_cast<std::int64_t>(gs.nodes_slept));
+      m.counter("power.governor.nodes_woken")
+          .set(static_cast<std::int64_t>(gs.nodes_woken));
+    }
+  }
 }
 
 void Dispatcher::set_tracer(obs::RequestTracer* tracer) {
@@ -774,6 +912,9 @@ void Dispatcher::install_sampler(obs::Collector& collector) {
                 cls_in_flight_[static_cast<std::size_t>(c)]));
       }
     }
+    if (power_armed_) {
+      m.stat("power.fleet.watts").add(fleet_watts());
+    }
     if (collector.timeline_enabled()) {
       collector.timeline().counter("cluster.in_flight", now,
                                    static_cast<double>(in_flight_));
@@ -791,6 +932,19 @@ void Dispatcher::install_sampler(obs::Collector& collector) {
           collector.timeline().counter(
               dev_key(i, "heartbeat"), now,
               static_cast<double>(cluster_->node(i).heartbeat()));
+        }
+      }
+      if (power_armed_) {
+        collector.timeline().counter("power.fleet.watts", now, fleet_watts());
+        for (int i = 0; i < cluster_->size(); ++i) {
+          const power::NodePower* np = cluster_->node(i).power();
+          if (np == nullptr) continue;
+          collector.timeline().counter(dev_key(i, "power.watts"), now,
+                                       np->watts(now));
+          collector.timeline().counter(dev_key(i, "power.p_state"), now,
+                                       static_cast<double>(np->p_state()));
+          collector.timeline().counter(dev_key(i, "power.s_state"), now,
+                                       static_cast<double>(np->s_state()));
         }
       }
     }

@@ -78,6 +78,7 @@
 #include "fault/plan.h"
 #include "fault/retry.h"
 #include "fault/watchdog.h"
+#include "power/governor.h"
 #include "sched/policy.h"
 #include "sched/ready_queue.h"
 #include "sim/sync.h"
@@ -120,6 +121,14 @@ struct DispatcherConfig {
   /// non-fifo policy arms it implicitly). Off by default so default runs
   /// emit no new metric keys.
   bool qos = false;
+
+  // --- power plane (off by default; see power/governor.h) -----------------
+  /// With a spec set, the dispatcher attaches a power::NodePower to every
+  /// node, runs the configured PowerGovernor, charges S-state wake-up
+  /// latency to waiting requests, and exports power.* metrics. With the
+  /// default (no spec) nothing is constructed and every existing output
+  /// stays byte-identical.
+  power::PlaneConfig power{};
 };
 
 class Dispatcher {
@@ -154,6 +163,10 @@ class Dispatcher {
     /// Parked requests displaced by a more urgent arrival (non-fifo only);
     /// every eviction also counts as a shed, so the ledger balances.
     std::int64_t evicted = 0;
+    // --- power plane ------------------------------------------------------
+    /// Requests that waited on an S-state -> active wake-up transition
+    /// (their wait lands in the power.wakeup trace phase).
+    std::int64_t power_wakeup_waits = 0;
   };
 
   /// Per-class slice of the ledger. The same exactly-once invariant holds
@@ -222,6 +235,20 @@ class Dispatcher {
 
   /// Requests admitted and not yet DONE/SHED, cluster-wide (sampler signal).
   int in_flight() const { return in_flight_; }
+
+  /// Admitted requests still waiting for a node slot (governor signal).
+  int queued_backlog() const { return backlog_; }
+
+  /// Arrival stream closed and nothing in flight — the governor's periodic
+  /// check stops rescheduling itself once this holds.
+  bool idle() const { return closed_ && in_flight_ == 0; }
+
+  /// The power governor, when the power plane is armed (nullptr otherwise).
+  const power::PowerGovernor* governor() const { return governor_.get(); }
+  bool power_armed() const { return power_armed_; }
+
+  /// Instantaneous fleet power draw (0 when the power plane is off).
+  double fleet_watts() const;
 
   /// Free slot-semaphore capacity of a node; == node capacity after drain()
   /// once every grant has been returned (the chaos test pins this).
@@ -347,6 +374,10 @@ class Dispatcher {
   void recover_node(int node_index);
   void set_bandwidth_scale(int node_index, double scale);
   void fault_event(std::string_view name);
+  /// State-transition edge hook (wired into every NodePower): cuts a
+  /// collector sample exactly at the edge so idle-power residency windows
+  /// are attributed precisely, and drops a timeline instant.
+  void power_edge(sim::Time now);
   void maybe_drained();
 
   Cluster* cluster_;
@@ -354,6 +385,7 @@ class Dispatcher {
   DispatcherConfig cfg_;
   bool fault_armed_ = false;
   bool qos_ = false;  // sched.* export + per-class timeline armed
+  bool power_armed_ = false;  // power.* export + governor running
   sched::Policy sched_policy_;
   std::uint64_t sched_seq_ = 0;  // global admission sequence (ties)
   std::vector<NodeState> node_state_;
@@ -370,11 +402,21 @@ class Dispatcher {
   int in_flight_ = 0;
   int backlog_ = 0;  // admitted, waiting for a node slot
   bool closed_ = false;
+  /// First instant the run drained (close()d, nothing in flight); -1 while
+  /// running. Power export extrapolates to THIS time, not sim().now():
+  /// run_until() parks the clock at the time cap after the last event, and
+  /// charging idle watts across that dead tail would corrupt every
+  /// energy-per-request figure.
+  sim::Time drained_at_ = -1;
   sim::Condition drained_;
   sim::Condition work_cv_;  // wakes the parked watchdog on new work
   obs::Collector* collector_ = nullptr;
   obs::RequestTracer* tracer_ = nullptr;  // nullptr = tracing disarmed
   int fault_track_ = -1;  // lazily interned timeline track
+  int power_track_ = -1;  // lazily interned timeline track
+  /// The governor's window onto this dispatcher (power plane only).
+  std::unique_ptr<power::FleetControl> fleet_adapter_;
+  std::unique_ptr<power::PowerGovernor> governor_;
 };
 
 }  // namespace pagoda::cluster

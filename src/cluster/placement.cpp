@@ -47,33 +47,37 @@ class LeastOutstanding final : public PlacementPolicy {
   }
 };
 
+/// Current executor occupancy plus outstanding service demand per unit of
+/// executor capacity. Demand uses the requests' cost estimates, not their
+/// count: under a skewed workload a node stuck behind one 100x-wide
+/// request scores far above a peer holding the same number of small ones,
+/// which a pure count (least-outstanding) cannot see.
+double loaded_score(const GpuNode& node) {
+  return node.busy_executor_fraction() +
+         node.outstanding_work() /
+             static_cast<double>(node.executor_warp_capacity());
+}
+
+/// Lowest-index eligible node minimizing loaded_score; -1 when none.
+int least_loaded_node(const Cluster& cluster) {
+  int best = -1;
+  double best_score = 0.0;
+  for (int i = 0; i < cluster.size(); ++i) {
+    if (!cluster.node(i).eligible()) continue;
+    const double s = loaded_score(cluster.node(i));
+    if (best < 0 || s < best_score) {
+      best = i;
+      best_score = s;
+    }
+  }
+  return best;
+}
+
 class LeastLoaded final : public PlacementPolicy {
  public:
   std::string_view name() const override { return "least-loaded"; }
   int pick(const Cluster& cluster, const Request&) override {
-    int best = -1;
-    double best_score = 0.0;
-    for (int i = 0; i < cluster.size(); ++i) {
-      if (!cluster.node(i).eligible()) continue;
-      const double s = score(cluster.node(i));
-      if (best < 0 || s < best_score) {
-        best = i;
-        best_score = s;
-      }
-    }
-    return best;
-  }
-
- private:
-  /// Current executor occupancy plus outstanding service demand per unit of
-  /// executor capacity. Demand uses the requests' cost estimates, not their
-  /// count: under a skewed workload a node stuck behind one 100x-wide
-  /// request scores far above a peer holding the same number of small ones,
-  /// which a pure count (least-outstanding) cannot see.
-  static double score(const GpuNode& node) {
-    return node.busy_executor_fraction() +
-           node.outstanding_work() /
-               static_cast<double>(node.executor_warp_capacity());
+    return least_loaded_node(cluster);
   }
 };
 
@@ -104,8 +108,55 @@ class DataAffinity final : public PlacementPolicy {
   }
 };
 
-constexpr std::array<std::string_view, 4> kPolicyNames = {
-    "round-robin", "least-outstanding", "least-loaded", "data-affinity"};
+class PowerCapPolicy final : public PlacementPolicy {
+ public:
+  std::string_view name() const override { return "power-cap"; }
+  void set_power_cap(double watts) override { cap_watts_ = watts; }
+  int pick(const Cluster& cluster, const Request&) override {
+    // Admission backpressure: while instantaneous fleet power sits at or
+    // above the budget, refuse the request outright (a deterministic drop)
+    // rather than add load the cap cannot absorb. Pure read — watts() is
+    // an extrapolating accessor, so probing never perturbs the run.
+    if (cap_watts_ > 0.0) {
+      const sim::Time now = cluster.sim().now();
+      double fleet_watts = 0.0;
+      bool metered = false;
+      for (int i = 0; i < cluster.size(); ++i) {
+        if (const power::NodePower* np = cluster.node(i).power()) {
+          fleet_watts += np->watts(now);
+          metered = true;
+        }
+      }
+      if (metered && fleet_watts >= cap_watts_) return -1;
+    }
+    return least_loaded_node(cluster);
+  }
+
+ private:
+  double cap_watts_ = 0.0;  // 0 = uncapped: behaves like least-loaded
+};
+
+class EnergyMin final : public PlacementPolicy {
+ public:
+  std::string_view name() const override { return "energy-min"; }
+  int pick(const Cluster& cluster, const Request&) override {
+    // Pack onto the fewest awake nodes: the lowest-index eligible node with
+    // TaskTable headroom wins, leaving the fleet's tail idle so the
+    // governor can drain + sleep it. Sleeping nodes are draining and thus
+    // ineligible until the governor reinstates them.
+    for (int i = 0; i < cluster.size(); ++i) {
+      const GpuNode& node = cluster.node(i);
+      if (!node.eligible()) continue;
+      if (node.outstanding() < node.capacity()) return i;
+    }
+    // Every eligible node is saturated: queue on the least backed-up one.
+    return least_outstanding_node(cluster);
+  }
+};
+
+constexpr std::array<std::string_view, 6> kPolicyNames = {
+    "round-robin", "least-outstanding", "least-loaded",
+    "data-affinity", "power-cap",        "energy-min"};
 
 }  // namespace
 
@@ -114,6 +165,8 @@ std::unique_ptr<PlacementPolicy> make_policy(std::string_view name) {
   if (name == "least-outstanding") return std::make_unique<LeastOutstanding>();
   if (name == "least-loaded") return std::make_unique<LeastLoaded>();
   if (name == "data-affinity") return std::make_unique<DataAffinity>();
+  if (name == "power-cap") return std::make_unique<PowerCapPolicy>();
+  if (name == "energy-min") return std::make_unique<EnergyMin>();
   return nullptr;
 }
 

@@ -16,6 +16,17 @@
 //                        redundant H2D copies; falls back to
 //                        least-outstanding when the target saturates or the
 //                        request is unkeyed.
+//   power-cap          — least-loaded, but refuses admission outright (-1,
+//                        a deterministic drop) while instantaneous fleet
+//                        power sits at/above the configured watt budget:
+//                        admission backpressure as the cap enforcement of
+//                        last resort. Uncapped (or with the power plane
+//                        off) it behaves exactly like least-loaded.
+//   energy-min         — pack onto the fewest awake nodes: lowest-index
+//                        eligible node with TaskTable headroom wins, so the
+//                        governor can drain + sleep the idle tail of the
+//                        fleet. Reduces to lowest-index packing when the
+//                        power plane is off.
 #pragma once
 
 #include <memory>
@@ -34,6 +45,10 @@ class PlacementPolicy {
   /// Node index for this request, or -1 when no eligible (healthy) node
   /// exists — the dispatcher then drops/sheds. Must not mutate the cluster.
   virtual int pick(const Cluster& cluster, const Request& r) = 0;
+  /// Fleet-watt budget for power-aware policies (0 = uncapped). The
+  /// dispatcher forwards --power-cap-watts here; a no-op for every policy
+  /// that doesn't read fleet power.
+  virtual void set_power_cap(double) {}
 };
 
 /// Factory by policy name; nullptr for an unknown name.

@@ -26,7 +26,9 @@ std::optional<ArrivalConfig> ArrivalConfig::parse(std::string_view spec) {
 
   const std::size_t colon = spec.find(':');
   const std::string_view kind = spec.substr(0, colon);
-  if (kind != "poisson" && kind != "bursty") return std::nullopt;
+  if (kind != "poisson" && kind != "bursty" && kind != "diurnal") {
+    return std::nullopt;
+  }
   if (colon == std::string_view::npos) return std::nullopt;  // rate required
 
   std::string_view rest = spec.substr(colon + 1);
@@ -40,6 +42,26 @@ std::optional<ArrivalConfig> ArrivalConfig::parse(std::string_view spec) {
     cfg.kind = ArrivalKind::Poisson;
     return cfg;
   }
+  if (kind == "diurnal") {
+    cfg.kind = ArrivalKind::Diurnal;
+    cfg.burst_factor = 4.0;
+    cfg.mean_on = sim::milliseconds(20.0);
+    if (colon2 != std::string_view::npos) {
+      const std::string_view rest2 = rest.substr(colon2 + 1);
+      const std::size_t colon3 = rest2.find(':');
+      const std::optional<double> factor =
+          parse_double(rest2.substr(0, colon3));
+      if (!factor.has_value() || *factor <= 1.0) return std::nullopt;
+      cfg.burst_factor = *factor;
+      if (colon3 != std::string_view::npos) {
+        const std::optional<double> on_us =
+            parse_double(rest2.substr(colon3 + 1));
+        if (!on_us.has_value() || *on_us <= 0.0) return std::nullopt;
+        cfg.mean_on = sim::microseconds(*on_us);
+      }
+    }
+    return cfg;
+  }
   cfg.kind = ArrivalKind::Bursty;
   if (colon2 != std::string_view::npos) {
     const std::optional<double> factor = parse_double(rest.substr(colon2 + 1));
@@ -50,8 +72,9 @@ std::optional<ArrivalConfig> ArrivalConfig::parse(std::string_view spec) {
 }
 
 std::string_view ArrivalConfig::choices() {
-  return "closed, poisson:RATE, bursty:RATE[:FACTOR]  (RATE in requests/s; "
-         "FACTOR > 1)";
+  return "closed, poisson:RATE, bursty:RATE[:FACTOR], "
+         "diurnal:RATE[:FACTOR[:ON_US]]  (RATE in requests/s; FACTOR > 1; "
+         "ON_US = mean phase length in us)";
 }
 
 ArrivalSequence::ArrivalSequence(const ArrivalConfig& cfg, std::uint64_t seed)
@@ -94,6 +117,35 @@ sim::Duration ArrivalSequence::next_gap() {
         }
         gap += on_left_;
         on_left_ = 0;
+      }
+    }
+    case ArrivalKind::Diurnal: {
+      // Day/night modulated Poisson: exponential-length peak and trough
+      // phases of equal mean length; the peak rate is factor x the trough
+      // rate, both scaled so the long-run mean stays rate_per_sec:
+      //   (peak + trough) / 2 == rate,  peak == factor * trough.
+      const double peak_rate = cfg_.rate_per_sec * 2.0 * cfg_.burst_factor /
+                               (cfg_.burst_factor + 1.0);
+      const double trough_rate = peak_rate / cfg_.burst_factor;
+      sim::Duration gap = 0;
+      while (true) {
+        if (phase_left_ <= 0) {
+          in_peak_ = !in_peak_;
+          phase_left_ = static_cast<sim::Duration>(
+              exp_sample(static_cast<double>(cfg_.mean_on)));
+        }
+        const double rate = in_peak_ ? peak_rate : trough_rate;
+        const auto arrival =
+            static_cast<sim::Duration>(sim::seconds(exp_sample(1.0 / rate)));
+        sim::Duration& res = in_peak_ ? peak_time_ : trough_time_;
+        if (arrival <= phase_left_) {
+          phase_left_ -= arrival;
+          res += arrival;
+          return gap + arrival;
+        }
+        gap += phase_left_;
+        res += phase_left_;
+        phase_left_ = 0;
       }
     }
   }

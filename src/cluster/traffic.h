@@ -8,6 +8,14 @@
 //                    exponential ON and OFF phases; arrivals only during ON
 //                    at FACTOR x the mean rate, with the duty cycle chosen
 //                    so the long-run mean stays RATE. FACTOR defaults to 8.
+//   diurnal:RATE[:FACTOR[:ON_US]] — day/night modulated Poisson (MMPP-2
+//                    with two nonzero rates): exponential peak and trough
+//                    phases of equal mean length ON_US, peak rate FACTOR x
+//                    the trough rate, both scaled so the long-run mean stays
+//                    RATE. The trough still trickles (unlike bursty's
+//                    silence), so energy-min placement can pack the fleet at
+//                    night without starving. FACTOR defaults to 4, ON_US to
+//                    20000 (20 ms phases).
 //
 // RequestProfile synthesizes the requests themselves (service demand, copy
 // volumes, data keys, optional heavy tail) for benches and tests that don't
@@ -26,20 +34,22 @@
 
 namespace pagoda::cluster {
 
-enum class ArrivalKind { Closed, Poisson, Bursty };
+enum class ArrivalKind { Closed, Poisson, Bursty, Diurnal };
 
 struct ArrivalConfig {
   ArrivalKind kind = ArrivalKind::Closed;
   /// Long-run mean arrival rate (requests/s); ignored for Closed.
   double rate_per_sec = 0.0;
   /// Bursty: ON-phase rate multiplier (duty cycle = 1/factor).
+  /// Diurnal: peak-to-trough rate ratio (phases have equal mean length).
   double burst_factor = 8.0;
   /// Bursty: mean ON-phase length; the mean OFF length follows from the
   /// duty cycle as mean_on * (factor - 1).
+  /// Diurnal: mean length of BOTH the peak and the trough phase.
   sim::Duration mean_on = sim::microseconds(200.0);
 
-  /// Parses "closed", "poisson:RATE" or "bursty:RATE[:FACTOR]".
-  /// nullopt on malformed input.
+  /// Parses "closed", "poisson:RATE", "bursty:RATE[:FACTOR]" or
+  /// "diurnal:RATE[:FACTOR[:ON_US]]". nullopt on malformed input.
   static std::optional<ArrivalConfig> parse(std::string_view spec);
   /// Valid forms, for CLI error messages.
   static std::string_view choices();
@@ -52,10 +62,22 @@ class ArrivalSequence {
   /// Gap before the next arrival (0 for Closed).
   sim::Duration next_gap();
 
+  /// Fraction of generated time spent in the high-rate phase (Diurnal
+  /// only; 0 before any gap was drawn). Long-run it converges to 0.5 —
+  /// the duty-cycle occupancy the MMPP tests check statistically.
+  double on_fraction() const {
+    const auto total = static_cast<double>(peak_time_ + trough_time_);
+    return total > 0.0 ? static_cast<double>(peak_time_) / total : 0.0;
+  }
+
  private:
   ArrivalConfig cfg_;
   SplitMix64 rng_;
   sim::Duration on_left_ = 0;  // remaining ON-phase time (Bursty)
+  sim::Duration phase_left_ = 0;  // remaining current-phase time (Diurnal)
+  bool in_peak_ = false;          // Diurnal phase flag (first toggle -> peak)
+  sim::Duration peak_time_ = 0;   // generated time per phase (Diurnal)
+  sim::Duration trough_time_ = 0;
   double exp_sample(double mean);
 };
 

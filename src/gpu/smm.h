@@ -14,6 +14,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 
 #include "common/check.h"
 #include "gpu/gpu_spec.h"
@@ -64,7 +66,52 @@ class Smm {
   sim::PsResource& pipeline() { return pipeline_; }
 
   /// Awaitable: execute `cycles` of warp-issue work on this SMM.
-  auto execute(double cycles) { return pipeline_.execute(cycles); }
+  auto execute(double cycles) {
+    struct Awaiter {
+      Smm* smm;
+      double cycles;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        smm->submit_issue(cycles, [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, cycles};
+  }
+
+  /// Callback form of execute(); consults the wake gate (if any) before
+  /// handing the work to the issue pipeline. With no gate installed this is
+  /// exactly pipeline().submit — the default path is untouched.
+  void submit_issue(double cycles, std::function<void()> on_done) {
+    if (wake_gate_) {
+      const sim::Duration d = wake_gate_(sim_->now());
+      if (d > 0) {
+        sim_->after(d, [this, cycles, done = std::move(on_done)]() mutable {
+          pipeline_.submit(cycles, std::move(done));
+        });
+        return;
+      }
+    }
+    pipeline_.submit(cycles, std::move(on_done));
+  }
+
+  // --- power plane hooks (passive unless the power plane installs them) ----
+
+  /// DVFS scale applied to the issue pipeline; 1.0 when the power plane is
+  /// off. Stall delays in the timing model divide by this.
+  double clock_scale() const { return pipeline_.rate_scale(); }
+
+  /// Rescales issue capacity + per-warp cap (P-state change). Only the power
+  /// plane calls this; scale 1.0 restores construction rates bit-exactly.
+  void set_clock_scale(double scale) { pipeline_.set_rate_scale(scale); }
+
+  /// Gate consulted before every issue submission. Returns the extra latency
+  /// (picoseconds) to charge before the work may enter the pipeline — the
+  /// power plane uses it to charge C-state wake-up transitions. Null (the
+  /// default) means no gate and an unchanged issue path.
+  void set_issue_wake_gate(std::function<sim::Duration(sim::Time)> gate) {
+    wake_gate_ = std::move(gate);
+  }
 
   // --- native threadblock residency --------------------------------------
   bool can_fit(const BlockFootprint& f) const {
@@ -140,6 +187,8 @@ class Smm {
   double resident_integral_ = 0.0;
   sim::Time last_touch_ = 0;
   int resident_warps_prev_ = 0;
+
+  std::function<sim::Duration(sim::Time)> wake_gate_;  // null = no gate
 };
 
 }  // namespace pagoda::gpu

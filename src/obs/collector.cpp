@@ -50,6 +50,11 @@ void Collector::tick() {
   schedule_tick();
 }
 
+void Collector::edge_sample(sim::Time now) {
+  if (sim_ == nullptr || finished_) return;
+  sample(now);
+}
+
 void Collector::sample(sim::Time now) {
   const double window = sim::to_seconds(now - last_sample_);
   last_sample_ = now;

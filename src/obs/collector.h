@@ -110,6 +110,13 @@ class Collector {
   /// only). Ignores incomplete intervals (start or end unset).
   void task_span(sim::Time start, sim::Time end);
 
+  /// Immediate out-of-band sample at a state-transition edge (power
+  /// P/C/S-state changes): records the same series a periodic tick would,
+  /// right at the edge, so step changes are never smeared across a sample
+  /// window. Passive like the tick; the periodic cadence is unaffected.
+  /// No-op before the sampler is attached or after finish().
+  void edge_sample(sim::Time now);
+
   /// Finalizes the run: stops the sampler, snapshots the end-of-run gauges
   /// and counters and converts the protocol trace into timeline spans. Must
   /// run before the attached Simulation is destroyed; `end_time` is the

@@ -71,6 +71,15 @@ void RequestTracer::on_granted(std::uint64_t uid, sim::Time now) {
   l->next = Phase::kH2d;
 }
 
+void RequestTracer::on_power_wake(std::uint64_t uid, sim::Time now) {
+  Live* l = find(uid);
+  if (l == nullptr) return;
+  // The grant already closed kSchedWait; the wait since then was the serving
+  // node finishing its S-state wake. H2D starts after it, tiling preserved.
+  mark(*l, Phase::kPowerWakeup, now);
+  l->next = Phase::kH2d;
+}
+
 void RequestTracer::on_h2d_done(std::uint64_t uid, sim::Time now) {
   Live* l = find(uid);
   if (l == nullptr) return;

@@ -54,8 +54,9 @@ enum class Phase : std::uint8_t {
   kExec,             // claim -> host-visible completion (or fault detection)
   kD2h,              // output drain
   kRetryBackoff,     // deterministic backoff before a budget-charged retry
+  kPowerWakeup,      // node was asleep at grant time: S-state wake latency
 };
-inline constexpr int kNumPhases = 9;
+inline constexpr int kNumPhases = 10;
 
 constexpr std::string_view to_string(Phase p) {
   switch (p) {
@@ -68,6 +69,7 @@ constexpr std::string_view to_string(Phase p) {
     case Phase::kExec: return "exec";
     case Phase::kD2h: return "d2h";
     case Phase::kRetryBackoff: return "retry_backoff";
+    case Phase::kPowerWakeup: return "power_wakeup";
   }
   return "?";
 }
@@ -139,6 +141,10 @@ class RequestTracer {
   /// The slot park ended without a grant (eviction or closed-queue refusal).
   void on_admission_block(std::uint64_t uid, sim::Time now);
   void on_granted(std::uint64_t uid, sim::Time now);
+  /// The interval since the grant was spent waiting for the serving node to
+  /// finish an S-state wake (power plane). Charged to kPowerWakeup; the
+  /// request then proceeds to H2D as usual, so the tiling stays exact.
+  void on_power_wake(std::uint64_t uid, sim::Time now);
   void on_h2d_done(std::uint64_t uid, sim::Time now);
   void on_spawned(std::uint64_t uid, sim::Time now);
   /// GPU-side scheduler warp claimed the entry (via the claim observer).

@@ -416,7 +416,10 @@ sim::Process MasterKernel::executor_warp(Mtb& mtb, int slot_index) {
     while (true) {
       const gpu::SegmentResult seg = gpu::run_segment(coro, ctx);
       if (seg.stall_cycles > 0.0) {
-        co_await dev_.sim().delay(stall_to_time(seg.stall_cycles));
+        // Stalls are counted in cycles, so a DVFS-scaled clock stretches
+        // them too (divide by 1.0 is exact when the power plane is off).
+        co_await dev_.sim().delay(
+            stall_to_time(seg.stall_cycles / mtb.smm->clock_scale()));
       }
       if (seg.cycles > 0.0) co_await mtb.smm->execute(seg.cycles);
       if (!seg.at_barrier) break;

@@ -1,0 +1,45 @@
+#include "power/power_spec.h"
+
+namespace pagoda::power {
+
+namespace {
+
+bool parse_floor(std::string_view text, int* out) {
+  if (text.empty() || text.size() > 1) return false;
+  const char c = text[0];
+  if (c < '0' || c > '9') return false;
+  const int v = c - '0';
+  if (v >= kNumPStates) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+std::optional<PowerSpec> PowerSpec::parse(std::string_view text,
+                                          std::string* error) {
+  const auto fail = [&](const std::string& why) -> std::optional<PowerSpec> {
+    if (error) *error = why + " (grammar: " + grammar() + ")";
+    return std::nullopt;
+  };
+  std::string_view head = text;
+  std::string_view rest;
+  if (const auto colon = text.find(':'); colon != std::string_view::npos) {
+    head = text.substr(0, colon);
+    rest = text.substr(colon + 1);
+  }
+  if (head != "default") {
+    return fail("unknown power spec '" + std::string(head) + "'");
+  }
+  PowerSpec spec = default_spec();
+  if (!rest.empty() || text.find(':') != std::string_view::npos) {
+    constexpr std::string_view kFloor = "floor=";
+    if (rest.substr(0, kFloor.size()) != kFloor ||
+        !parse_floor(rest.substr(kFloor.size()), &spec.p_floor)) {
+      return fail("bad power spec option '" + std::string(rest) + "'");
+    }
+  }
+  return spec;
+}
+
+}  // namespace pagoda::power

@@ -1,0 +1,77 @@
+// Power/energy tables for the modeled GPU fleet, in the spirit of the
+// cloudsim_eec machine-class format: per-performance-state (P-state) clock
+// scales, dynamic energy and static power; per-idle-state (C-state) power and
+// wake latencies for SMMs; per-sleep-state (S-state) power and wake latencies
+// for whole GpuNodes.
+//
+// State indexing convention (matches ACPI naming):
+//   P0..P3  — P0 fastest (construction clock), deeper = slower + cheaper.
+//   C0..C3  — C0 active; deeper = lower idle power, longer wake-up.
+//   S0..S3  — S0 awake; deeper = lower node sleep power, longer wake-up.
+//
+// The plane is strictly opt-in: an empty spec string on the config path means
+// no PowerSpec is constructed and no hook is installed anywhere.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/time_types.h"
+
+namespace pagoda::power {
+
+inline constexpr int kNumPStates = 4;
+inline constexpr int kNumCStates = 4;
+inline constexpr int kNumSStates = 4;
+
+struct PowerSpec {
+  // --- P-states (per-node DVFS domain across all SMMs) --------------------
+  /// Clock/issue-rate multiplier vs the GpuSpec clock. p_clock_scale[0]
+  /// must be exactly 1.0 so P0 reproduces the power-off timing bit-exactly.
+  std::array<double, kNumPStates> p_clock_scale{1.0, 0.8, 0.6, 0.4};
+  /// Dynamic energy per issued warp-instruction (joules). Scales roughly
+  /// with V^2 alongside frequency, so deeper P-states are superlinearly
+  /// cheaper per unit of work.
+  std::array<double, kNumPStates> p_dynamic_joules{1.6e-12, 1.3e-12, 1.0e-12,
+                                                   0.8e-12};
+  /// SMM static (leakage + clock-tree) power while active (C0), watts.
+  std::array<double, kNumPStates> p_static_watts{3.3, 2.8, 2.3, 1.8};
+
+  // --- C-states (per-SMM idle states) -------------------------------------
+  /// SMM power while parked in C1..C3 (index 0 unused: C0 power is the
+  /// P-state static power above).
+  std::array<double, kNumCStates> c_watts{0.0, 1.2, 0.4, 0.1};
+  /// Wake-up latency charged before the first issue after leaving C1..C3.
+  std::array<sim::Duration, kNumCStates> c_wake{0, sim::microseconds(1),
+                                                sim::microseconds(10),
+                                                sim::microseconds(50)};
+
+  // --- S-states (whole-node sleep) ----------------------------------------
+  /// Uncore/board power while the node is awake, on top of SMM power.
+  double node_base_watts = 20.0;
+  /// Whole-node power while asleep in S1..S3 (replaces base + all SMMs).
+  std::array<double, kNumSStates> s_watts{0.0, 15.0, 5.0, 1.0};
+  /// Wake-up latency from S1..S3 back to serving.
+  std::array<sim::Duration, kNumSStates> s_wake{0, sim::microseconds(500),
+                                                sim::milliseconds(2),
+                                                sim::milliseconds(10)};
+
+  /// Deepest (slowest) P-state a governor may select; also the fixed state
+  /// of the `static` governor. 0 = always max performance.
+  int p_floor = 0;
+
+  /// The built-in Titan-X-flavored table above (TDP-scale ~250 W/node).
+  static PowerSpec default_spec() { return PowerSpec{}; }
+
+  /// Parses `--power` grammar: "default" | "default:floor=N" (N in 0..3).
+  /// Returns nullopt and fills *error with a one-line message on bad input.
+  static std::optional<PowerSpec> parse(std::string_view text,
+                                        std::string* error);
+
+  /// Grammar summary for --help / validation errors.
+  static const char* grammar() { return "default[:floor=N]  (N in 0..3)"; }
+};
+
+}  // namespace pagoda::power

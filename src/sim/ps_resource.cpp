@@ -15,10 +15,26 @@ constexpr double kWorkEpsilon = 1e-6;
 }  // namespace
 
 PsResource::PsResource(Simulation& sim, double capacity, double max_job_rate)
-    : sim_(&sim), capacity_(capacity), max_job_rate_(max_job_rate) {
+    : sim_(&sim),
+      capacity_(capacity),
+      max_job_rate_(max_job_rate),
+      base_capacity_(capacity),
+      base_max_job_rate_(max_job_rate) {
   PAGODA_CHECK(capacity > 0.0);
   PAGODA_CHECK(max_job_rate > 0.0);
   last_update_ = sim.now();
+}
+
+void PsResource::set_rate_scale(double scale) {
+  PAGODA_CHECK(scale > 0.0);
+  if (scale == rate_scale_) return;
+  // Charge elapsed time at the outgoing rate, then switch. Rates are always
+  // derived from the construction-time bases so scale 1.0 is bit-exact.
+  advance_virtual_time();
+  rate_scale_ = scale;
+  capacity_ = base_capacity_ * scale;
+  max_job_rate_ = base_max_job_rate_ * scale;
+  reschedule_completion();
 }
 
 double PsResource::current_rate() const {

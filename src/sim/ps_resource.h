@@ -54,6 +54,15 @@ class PsResource {
 
   int active_jobs() const { return static_cast<int>(heap_.size()); }
 
+  /// Scales capacity and per-job rate cap to `scale` x their construction
+  /// values (DVFS: a P-state change retimes in-flight work). Safe mid-run:
+  /// virtual time is advanced at the old rate before the switch and the
+  /// pending completion is re-scheduled at the new rate. A scale of 1.0
+  /// restores the constructed rates exactly (no drift from repeated calls).
+  void set_rate_scale(double scale);
+
+  double rate_scale() const { return rate_scale_; }
+
   /// ∫ utilized-capacity dt in work-unit·seconds, where utilized capacity is
   /// min(C, n·r_max). Used for occupancy/utilization reporting.
   double busy_work_seconds() const;
@@ -83,6 +92,9 @@ class PsResource {
   Simulation* sim_;
   double capacity_;
   double max_job_rate_;
+  const double base_capacity_;      // construction-time capacity
+  const double base_max_job_rate_;  // construction-time per-job cap
+  double rate_scale_ = 1.0;
 
   std::priority_queue<Job, std::vector<Job>, std::greater<>> heap_;
   double virtual_time_ = 0.0;  // accumulated per-job service, work-units

@@ -156,6 +156,69 @@ trace_smoke() {
   fi
 }
 
+power_smoke() {
+  local dir="$1"
+  echo "==> power smoke ${dir}"
+  # Metering only: default spec + static governor at floor 0 keeps timing
+  # identical to a power-off run while exporting the energy account.
+  local out
+  out=$("${dir}/tools/pagoda_cli" --workload=MM --tasks=512 --gpus=2 \
+      --policy=least-loaded --arrival=poisson:150000 --slo-us=5000 \
+      --power=default --metrics)
+  grep -q "power.fleet.energy_j" <<<"${out}"
+  # The full strategy: energy-min packing + dvfs + S-state sleep on diurnal
+  # traffic; the governor must park the surplus node during troughs.
+  out=$("${dir}/tools/pagoda_cli" --workload=MM --tasks=2048 --gpus=2 \
+      --policy=energy-min --arrival=diurnal:800000:8:20000 --slo-us=5000 \
+      --power=default:floor=3 --governor=dvfs --metrics)
+  grep -q "power.governor.nodes_slept" <<<"${out}"
+  # powercap: the governor and the power-cap placement share the budget.
+  "${dir}/tools/pagoda_cli" --workload=MM --tasks=512 --gpus=2 \
+      --policy=power-cap --arrival=poisson:150000 --slo-us=5000 \
+      --power=default:floor=3 --governor=powercap --power-cap-watts=150 \
+      >/dev/null
+  # --list-policies enumerates placements, sched policies and governors.
+  out=$("${dir}/tools/pagoda_cli" --list-policies)
+  grep -q "energy-min" <<<"${out}"
+  grep -q "powercap" <<<"${out}"
+  grep -q "wfq" <<<"${out}"
+  # Strict validation: bad specs fail fast and point at the catalog.
+  if "${dir}/tools/pagoda_cli" --workload=MM --gpus=2 --power=bogus \
+      >/dev/null 2>&1; then
+    echo "error: bad --power unexpectedly accepted" >&2
+    exit 1
+  fi
+  ("${dir}/tools/pagoda_cli" --workload=MM --gpus=2 --power=bogus 2>&1 || true) |
+    grep -q "default\[:floor=N\]"
+  if "${dir}/tools/pagoda_cli" --workload=MM --gpus=2 --governor=dvfs \
+      >/dev/null 2>&1; then
+    echo "error: --governor without --power unexpectedly accepted" >&2
+    exit 1
+  fi
+  if "${dir}/tools/pagoda_cli" --workload=MM --gpus=2 --power=default \
+      --power-cap-watts=100 >/dev/null 2>&1; then
+    echo "error: --power-cap-watts without an enforcer unexpectedly accepted" >&2
+    exit 1
+  fi
+  ("${dir}/tools/pagoda_cli" --workload=MM --gpus=2 --power=default \
+      --governor=bogus 2>&1 || true) | grep -q "list-policies"
+}
+
+power_grep_clean() {
+  # Only src/power (the governor included) may move P/C/S states: the
+  # mutator verbs must not appear anywhere else in the production tree.
+  echo "==> power layering grep"
+  local hits
+  hits=$(grep -rnE "\b(set_p_state|step_c_deeper|enter_sleep|begin_wake)\b" \
+      --include="*.cpp" --include="*.h" src bench tools examples |
+      grep -v "^src/power/" || true)
+  if [[ -n "${hits}" ]]; then
+    echo "error: power-state mutation outside src/power:" >&2
+    echo "${hits}" >&2
+    exit 1
+  fi
+}
+
 fault_grep_clean() {
   # Recovery paths must never throw: failures flow through
   # fault::FailureCause values so a fault can never unwind the dispatcher
@@ -249,9 +312,11 @@ cluster_smoke build-release
 fault_smoke build-release
 qos_smoke build-release
 trace_smoke build-release
+power_smoke build-release
 engine_grep_clean
 fault_grep_clean
 sched_grep_clean
+power_grep_clean
 wallclock_gate build-release
 
 echo "==> bench determinism (cluster_scaling)"
@@ -288,6 +353,27 @@ grep -q "slo_late=" <<<"${slo_out}"
 grep -q "dominant=sched_wait" <<<"${slo_out}"
 rm -f /tmp/pagoda_qspans.json
 
+echo "==> bench determinism + energy Pareto gate (energy_pareto)"
+# The bench CHECKs energy-min >= 1.3x fewer joules/request than always-max
+# at equal per-class goodput, per seed; two runs must be byte-identical.
+build-release/bench/energy_pareto --out=/tmp/pagoda_power_a.json >/dev/null
+build-release/bench/energy_pareto --out=/tmp/pagoda_power_b.json >/dev/null
+cmp /tmp/pagoda_power_a.json /tmp/pagoda_power_b.json
+rm -f /tmp/pagoda_power_a.json /tmp/pagoda_power_b.json
+
+echo "==> power wake-up attribution gate (trace_report --explain-slo)"
+# Diurnal traffic on an energy-min fleet: the peak after a trough wakes a
+# sleeping node, and the S-state wake latency must surface as the dominant
+# phase of (some of) the resulting SLO casualties.
+build-release/tools/pagoda_cli --workload=MM --tasks=4096 --gpus=2 \
+    --policy=energy-min --arrival=diurnal:800000:8:20000 --slo-us=5000 \
+    --power=default:floor=3 --governor=dvfs \
+    --trace-spans=/tmp/pagoda_pspans.json >/dev/null
+pslo_out=$(build-release/tools/trace_report --in=/tmp/pagoda_pspans.json \
+    --explain-slo)
+grep -q "dominant=power_wakeup" <<<"${pslo_out}"
+rm -f /tmp/pagoda_pspans.json
+
 if [[ "${1:-}" != "--fast" ]]; then
   run_pass build-asan \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -296,6 +382,7 @@ if [[ "${1:-}" != "--fast" ]]; then
   fault_smoke build-asan
   qos_smoke build-asan
   trace_smoke build-asan
+  power_smoke build-asan
   echo "==> qos_isolation determinism under sanitizers"
   build-asan/bench/qos_isolation --tasks=512 --seeds=2 \
       --out=/tmp/pagoda_sched_a.json >/dev/null

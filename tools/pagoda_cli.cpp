@@ -38,6 +38,8 @@
 #include "harness/flags.h"
 #include "obs/collector.h"
 #include "pagoda/trace.h"
+#include "power/governor.h"
+#include "power/power_spec.h"
 #include "sched/policy.h"
 
 using namespace pagoda;
@@ -71,6 +73,8 @@ int list_options() {
       "           --faults=SPEC --retry-budget=N --task-timeout-us=X\n"
       "           --trace-spans=out.json   (per-request causal span dump;\n"
       "            analyze with tools/trace_report)\n"
+      "power:     --power=SPEC --governor=NAME --power-cap-watts=X\n"
+      "           --list-policies   (placement/sched/governor catalog)\n"
       "faults:    comma list of task:P | xfer:P | wedge:P |\n"
       "           crash:NODE:T_US[:RECOVER_US] |\n"
       "           degrade:T_US:DUR_US:FACTOR[:NODE] | seed:N\n");
@@ -80,6 +84,57 @@ int list_options() {
   }
   std::printf("\narrivals:  %s\n",
               std::string(cluster::ArrivalConfig::choices()).c_str());
+  return 0;
+}
+
+const char* policy_desc(std::string_view name) {
+  if (name == "round-robin") {
+    return "rotate over nodes, blind to load (the baseline)";
+  }
+  if (name == "least-outstanding") {
+    return "fewest placed-but-unfinished requests wins";
+  }
+  if (name == "least-loaded") {
+    return "executor occupancy + outstanding work per unit capacity";
+  }
+  if (name == "data-affinity") {
+    return "route keyed requests to the node already holding their data";
+  }
+  if (name == "power-cap") {
+    return "least-loaded, refuses admission while fleet watts >= the cap";
+  }
+  if (name == "energy-min") {
+    return "pack the fewest awake nodes so the governor can sleep the rest";
+  }
+  return "";
+}
+
+/// --list-policies: every pluggable decision maker — placement policies,
+/// QoS scheduling policies and power governors — with one-line descriptions.
+/// Strict-validation errors for the corresponding flags point here.
+int list_policies() {
+  std::printf("placement policies (--policy):\n");
+  for (const std::string_view p : cluster::all_policy_names()) {
+    std::printf("  %-18s %s\n", std::string(p).c_str(), policy_desc(p));
+  }
+  std::printf("\nscheduling policies (--sched-policy):\n");
+  std::printf("  %-18s %s\n", "fifo",
+              "arrival order; reproduces the legacy semaphore byte-for-byte");
+  std::printf("  %-18s %s\n", "priority",
+              "strict class priority (interactive > standard > batch)");
+  std::printf("  %-18s %s\n", "edf",
+              "earliest absolute deadline first; FIFO for deadline-free work");
+  std::printf("  %-18s %s\n", "wfq",
+              "weighted fair queueing over classes (--weights=A,B,C)");
+  std::printf("\npower governors (--governor, needs --power):\n");
+  for (const std::string_view g : power::all_governor_names()) {
+    std::printf("  %-18s %s\n", std::string(g).c_str(),
+                std::string(power::governor_description(
+                                *power::parse_governor(g)))
+                    .c_str());
+  }
+  std::printf("\npower spec (--power): %s\n",
+              power::PowerSpec::grammar());
   return 0;
 }
 
@@ -205,13 +260,13 @@ int main(int argc, char** argv) {
   common::tune_allocator_for_batch_runs();
   const Flags flags(argc, argv);
   const std::string bad = flags.unknown(
-      {"list", "list-workloads", "help", "workload", "runtime", "tasks",
-       "threads", "seed", "input", "blocks", "irregular", "dynamic-threads",
-       "no-shmem", "compute", "no-copies", "batch", "rows", "two-copy",
-       "trace", "trace-format", "metrics", "metrics-period", "profile",
-       "gpus", "policy", "arrival", "slo-us", "queue-limit", "faults",
-       "retry-budget", "task-timeout-us", "sched-policy", "class",
-       "weights", "trace-spans"});
+      {"list", "list-workloads", "list-policies", "help", "workload",
+       "runtime", "tasks", "threads", "seed", "input", "blocks", "irregular",
+       "dynamic-threads", "no-shmem", "compute", "no-copies", "batch", "rows",
+       "two-copy", "trace", "trace-format", "metrics", "metrics-period",
+       "profile", "gpus", "policy", "arrival", "slo-us", "queue-limit",
+       "faults", "retry-budget", "task-timeout-us", "sched-policy", "class",
+       "weights", "trace-spans", "power", "governor", "power-cap-watts"});
   if (!bad.empty()) {
     std::fprintf(stderr, "error: unknown argument '%s' (try --help)\n",
                  bad.c_str());
@@ -219,6 +274,7 @@ int main(int argc, char** argv) {
   }
   if (flags.has("list") || flags.has("help")) return list_options();
   if (flags.has("list-workloads")) return list_workloads();
+  if (flags.has("list-policies")) return list_policies();
 
   const std::string wl = flags.get("workload", "MM");
   // Any cluster flag selects the Cluster runtime; --runtime=Cluster works
@@ -231,8 +287,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: --gpus only applies to --runtime=Cluster\n");
     return 1;
   }
-  for (const char* f :
-       {"faults", "retry-budget", "task-timeout-us", "trace-spans"}) {
+  for (const char* f : {"faults", "retry-budget", "task-timeout-us",
+                        "trace-spans", "power", "governor",
+                        "power-cap-watts"}) {
     if (flags.has(f) && (multi || rts[0] != "Cluster")) {
       std::fprintf(stderr, "error: --%s only applies to --runtime=Cluster\n",
                    f);
@@ -312,7 +369,9 @@ int main(int argc, char** argv) {
     // get_enum validated the arrival *kind*; the rate/factor tail still
     // needs the full parser.
     rcfg.cluster.arrival = flags.get_enum(
-        "arrival", "closed", {"closed", "poisson:RATE", "bursty:RATE[:FACTOR]"});
+        "arrival", "closed",
+        {"closed", "poisson:RATE", "bursty:RATE[:FACTOR]",
+         "diurnal:RATE[:FACTOR[:ON_US]]"});
     if (!cluster::ArrivalConfig::parse(rcfg.cluster.arrival).has_value()) {
       std::fprintf(stderr,
                    "error: bad --arrival '%s'; valid forms: %s\n",
@@ -376,6 +435,63 @@ int main(int argc, char** argv) {
                      "error: --faults crash targets node %d but the cluster "
                      "has %zu node(s)\n",
                      ev.node, rcfg.cluster.specs.size());
+        return 1;
+      }
+    }
+
+    // Power plane: --power arms the model; --governor and --power-cap-watts
+    // refine it and are meaningless without it, so they fail fast.
+    rcfg.cluster.power = flags.get("power");
+    if (flags.has("power") && rcfg.cluster.power.empty()) {
+      std::fprintf(stderr,
+                   "error: --power needs a spec (e.g. --power=default or "
+                   "--power=default:floor=2); see --list-policies\n");
+      return 1;
+    }
+    if (!rcfg.cluster.power.empty()) {
+      std::string power_err;
+      if (!power::PowerSpec::parse(rcfg.cluster.power, &power_err)
+               .has_value()) {
+        std::fprintf(stderr, "error: bad --power spec: %s\n",
+                     power_err.c_str());
+        return 1;
+      }
+    }
+    if (flags.has("governor") && rcfg.cluster.power.empty()) {
+      std::fprintf(stderr,
+                   "error: --governor needs the power plane; add "
+                   "--power=SPEC (see --list-policies)\n");
+      return 1;
+    }
+    rcfg.cluster.governor = flags.get("governor", "static");
+    if (!power::parse_governor(rcfg.cluster.governor).has_value()) {
+      std::fprintf(stderr,
+                   "error: unknown --governor '%s'; valid governors:",
+                   rcfg.cluster.governor.c_str());
+      for (const std::string_view g : power::all_governor_names()) {
+        std::fprintf(stderr, " %s", std::string(g).c_str());
+      }
+      std::fprintf(stderr, " (see --list-policies)\n");
+      return 1;
+    }
+    rcfg.cluster.power_cap_watts = flags.get_double("power-cap-watts", 0.0);
+    if (flags.has("power-cap-watts")) {
+      if (rcfg.cluster.power_cap_watts <= 0.0) {
+        std::fprintf(stderr, "error: --power-cap-watts must be > 0\n");
+        return 1;
+      }
+      if (rcfg.cluster.power.empty()) {
+        std::fprintf(stderr,
+                     "error: --power-cap-watts needs the power plane; add "
+                     "--power=SPEC (see --list-policies)\n");
+        return 1;
+      }
+      if (rcfg.cluster.governor != "powercap" &&
+          rcfg.cluster.policy != "power-cap") {
+        std::fprintf(stderr,
+                     "error: --power-cap-watts needs an enforcer: "
+                     "--governor=powercap or --policy=power-cap "
+                     "(see --list-policies)\n");
         return 1;
       }
     }
@@ -511,6 +627,14 @@ int main(int argc, char** argv) {
                 rcfg.cluster.specs.size(), rcfg.cluster.policy.c_str(),
                 rcfg.cluster.arrival.c_str(),
                 std::string(sched::to_string(rcfg.cluster.sched.kind)).c_str());
+    if (!rcfg.cluster.power.empty()) {
+      std::printf("power      spec %s, governor %s", rcfg.cluster.power.c_str(),
+                  rcfg.cluster.governor.c_str());
+      if (rcfg.cluster.power_cap_watts > 0.0) {
+        std::printf(", cap %.1f W", rcfg.cluster.power_cap_watts);
+      }
+      std::printf("\n");
+    }
   }
   std::printf("mode       %s\n",
               rcfg.mode == gpu::ExecMode::Compute ? "compute (verified)"
