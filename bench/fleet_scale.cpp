@@ -1,0 +1,210 @@
+// Fleet-scale sweep for the sharded simulation core: 1 -> 256 homogeneous
+// nodes behind one dispatcher, measuring how far ONE simulated fleet can
+// scale and what the worker pool buys on wall-clock.
+//
+//   fleet_scale [--tasks-per-node=N] [--threads=N] [--seed=N]
+//               [--out=BENCH_fleet.json]
+//
+// Unlike every other bench, --threads here is the SIMULATION worker pool
+// (the pagoda_cli --threads flag), not threads-per-task: each sweep point
+// runs on the sequential sharded core, and the 64-node point runs again
+// under --threads=N workers. The virtual-time outcome (completed count, end
+// time) must be identical between the two; wall-clock is what changes. The
+// JSON artifact carries both the stable simulated outcomes and the
+// (machine-dependent) wall-clock milliseconds + speedup that
+// tools/check.sh gates.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/dispatcher.h"
+#include "cluster/placement.h"
+#include "cluster/traffic.h"
+#include "common/check.h"
+#include "engine/session.h"
+#include "harness/flags.h"
+#include "obs/metrics.h"
+#include "sim/process.h"
+
+using namespace pagoda;
+
+namespace {
+
+struct Outcome {
+  double elapsed_ms = 0.0;       // virtual
+  double wall_ms = 0.0;          // real
+  std::int64_t completed = 0;
+  double throughput_rps = 0.0;   // virtual
+  std::uint64_t windows = 0;     // parallel windows run (0 = sequential)
+  std::uint64_t window_events = 0;
+  std::uint64_t posts = 0;
+};
+
+struct RunBox {
+  static engine::SessionConfig clock_only(int threads) {
+    engine::SessionConfig c;
+    c.device = false;  // GpuNodes bring up their own device sub-sessions
+    c.sim_threads = threads;
+    return c;
+  }
+
+  engine::Session session;
+  sim::Simulation& sim = session.sim();
+  cluster::Cluster fleet;
+  cluster::Dispatcher disp;
+  sim::Time end_time = 0;
+  bool done = false;
+
+  RunBox(int nodes, int threads, const cluster::NodeConfig& proto)
+      : session(clock_only(threads)),
+        fleet(sim, cluster::Cluster::homogeneous(nodes, proto)),
+        disp(fleet, cluster::make_policy("round-robin"), [] {
+          cluster::DispatcherConfig dc;
+          return dc;
+        }()) {}
+};
+
+sim::Process source(RunBox& box, const cluster::ArrivalConfig& acfg,
+                    const cluster::RequestProfile& profile, int requests,
+                    std::uint64_t seed) {
+  cluster::ArrivalSequence seq(acfg, seed);
+  for (int i = 0; i < requests; ++i) {
+    const sim::Duration gap = seq.next_gap();
+    if (gap > 0) co_await box.sim.delay(gap);
+    box.disp.offer(cluster::synth_request(profile, seed, i));
+  }
+  box.disp.close();
+}
+
+sim::Process drainer(RunBox& box) {
+  co_await box.disp.drain();
+  box.end_time = box.sim.now();
+  box.done = true;
+}
+
+Outcome run_point(int nodes, int threads, int requests, std::uint64_t seed) {
+  cluster::NodeConfig proto;
+  proto.pcie.bandwidth_bytes_per_sec = 12.0e9;  // the paper's platform
+  proto.pcie.latency = sim::microseconds(2.0);
+
+  cluster::RequestProfile profile;  // uniform, no SLO: pure throughput
+  cluster::ArrivalConfig acfg;
+  acfg.kind = cluster::ArrivalKind::Poisson;
+  acfg.rate_per_sec = 200.0e3 * nodes;  // constant offered load per node
+
+  RunBox box(nodes, threads, proto);
+  box.fleet.start();
+  box.sim.spawn(source(box, acfg, profile, requests, seed));
+  box.sim.spawn(drainer(box));
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  box.sim.run_until(sim::seconds(120.0));
+  const auto wall_end = std::chrono::steady_clock::now();
+  PAGODA_CHECK_MSG(box.done, "fleet point did not drain");
+
+  Outcome o;
+  o.elapsed_ms = sim::to_milliseconds(box.end_time);
+  o.wall_ms =
+      std::chrono::duration<double, std::milli>(wall_end - wall_start).count();
+  o.completed = box.disp.stats().completed;
+  const double elapsed_s = sim::to_seconds(box.end_time);
+  if (elapsed_s > 0.0) {
+    o.throughput_rps = static_cast<double>(o.completed) / elapsed_s;
+  }
+  const sim::ShardStats& ss = box.sim.shard_stats();
+  o.windows = ss.windows;
+  o.window_events = ss.window_events;
+  o.posts = ss.posts;
+  box.fleet.shutdown();
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const harness::Flags flags(argc, argv);
+  const std::string bad =
+      flags.unknown({"tasks-per-node", "threads", "seed", "out", "help"});
+  if (!bad.empty()) {
+    std::fprintf(stderr, "error: unknown argument '%s'\n", bad.c_str());
+    return 1;
+  }
+  if (flags.has("help")) {
+    std::printf(
+        "fleet_scale [--tasks-per-node=N] [--threads=N] [--seed=N] "
+        "[--out=FILE]\n");
+    return 0;
+  }
+  const int per_node = static_cast<int>(flags.get_int("tasks-per-node", 64));
+  const int threads = static_cast<int>(flags.get_int("threads", 4));
+  const auto seed =
+      static_cast<std::uint64_t>(flags.get_int("seed", 0x9A60DA));
+  const std::string out_path = flags.get("out", "BENCH_fleet.json");
+  PAGODA_CHECK_MSG(per_node > 0, "--tasks-per-node must be positive");
+  PAGODA_CHECK_MSG(threads >= 1, "--threads must be >= 1");
+
+  std::printf("=== fleet scale: %d requests/node, seed %llu ===\n", per_node,
+              static_cast<unsigned long long>(seed));
+  std::printf("%-6s %-8s %12s %12s %12s %10s\n", "nodes", "threads",
+              "thr (k/s)", "sim (ms)", "wall (ms)", "windows");
+
+  std::ofstream json(out_path);
+  json << "{\n  \"bench\": \"fleet_scale\", \"tasks_per_node\": " << per_node
+       << ", \"threads\": " << threads << ", \"seed\": " << seed
+       << ",\n  \"sweep\": [\n";
+
+  bool first = true;
+  Outcome base64;  // the 64-node sequential point anchors the speedup
+  for (const int nodes : {1, 4, 16, 64, 256}) {
+    const Outcome o = run_point(nodes, 1, per_node * nodes, seed);
+    if (nodes == 64) base64 = o;
+    std::printf("%-6d %-8d %12.1f %12.1f %12.1f %10llu\n", nodes, 1,
+                o.throughput_rps / 1e3, o.elapsed_ms, o.wall_ms,
+                static_cast<unsigned long long>(o.windows));
+    if (!first) json << ",\n";
+    first = false;
+    json << "    {\"nodes\": " << nodes << ", \"threads\": 1"
+         << ", \"completed\": " << o.completed << ", \"sim_ms\": "
+         << obs::format_metric_double(o.elapsed_ms)
+         << ", \"wall_ms\": " << obs::format_metric_double(o.wall_ms) << "}";
+  }
+
+  // The worker-pool pass: same 64-node fleet, N-thread conservative-window
+  // execution. Virtual-time outcomes must not move; wall-clock should.
+  const Outcome par = run_point(64, threads, per_node * 64, seed);
+  std::printf("%-6d %-8d %12.1f %12.1f %12.1f %10llu\n", 64, threads,
+              par.throughput_rps / 1e3, par.elapsed_ms, par.wall_ms,
+              static_cast<unsigned long long>(par.windows));
+  PAGODA_CHECK_MSG(par.completed == base64.completed,
+                   "worker pool changed the completed-request count");
+  PAGODA_CHECK_MSG(par.elapsed_ms == base64.elapsed_ms,
+                   "worker pool changed the virtual end time");
+  const double speedup = par.wall_ms > 0.0 ? base64.wall_ms / par.wall_ms : 0.0;
+
+  json << ",\n    {\"nodes\": 64, \"threads\": " << threads
+       << ", \"completed\": " << par.completed << ", \"sim_ms\": "
+       << obs::format_metric_double(par.elapsed_ms)
+       << ", \"wall_ms\": " << obs::format_metric_double(par.wall_ms)
+       << ", \"windows\": " << par.windows
+       << ", \"window_events\": " << par.window_events
+       << ", \"posts\": " << par.posts << "}";
+  json << "\n  ],\n  \"speedup_64\": " << obs::format_metric_double(speedup)
+       << "\n}\n";
+
+  std::printf("\n64-node wall-clock: %.1f ms sequential, %.1f ms with %d "
+              "threads (%.2fx); %llu windows, %llu window events, %llu "
+              "cross-shard posts\n",
+              base64.wall_ms, par.wall_ms, threads, speedup,
+              static_cast<unsigned long long>(par.windows),
+              static_cast<unsigned long long>(par.window_events),
+              static_cast<unsigned long long>(par.posts));
+  std::printf("-> %s\n", out_path.c_str());
+  if (threads > 1) {
+    PAGODA_CHECK_MSG(par.windows > 0,
+                     "worker pool ran but no parallel window executed");
+  }
+  return 0;
+}

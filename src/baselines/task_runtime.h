@@ -73,6 +73,13 @@ struct ClusterOptions {
   /// Fleet-watt budget for the powercap governor and the power-cap
   /// placement policy; 0 = uncapped.
   double power_cap_watts = 0.0;
+  /// Worker threads for the sharded simulation core (--threads). 1 keeps
+  /// the sequential-sharded driver, whose pop order is exactly the legacy
+  /// single-queue order.
+  int sim_threads = 1;
+  /// Run on the historical single global event queue instead of per-node
+  /// shards (--sim-core=global); the determinism-soak reference mode.
+  bool global_queue = false;
 };
 
 struct RunConfig {

@@ -6,20 +6,25 @@
 // at 32K-task scale. Frames recycle through per-size free lists instead:
 // steady state performs no heap allocation at all.
 //
-// The pool is thread_local — the simulator is single-threaded, this just
-// avoids any locking question — and is compiled out entirely under
-// AddressSanitizer so use-after-free of coroutine frames stays detectable
-// (a recycled frame would otherwise mask UAF as silent corruption).
+// The pool is thread_local, which stays correct under the sharded worker
+// pool (ShardCoordinator): a coroutine frame is only allocated and freed by
+// whichever thread is executing its shard's events at that moment, and
+// cross-window migration just means a frame allocated from one thread's pool
+// is returned to another's — each list only ever sees frames with matching
+// bucket sizes, and no list is touched concurrently. It is compiled out
+// entirely under sanitizers (ASan keeps use-after-free of coroutine frames
+// detectable — a recycled frame would otherwise mask UAF as silent
+// corruption — and TSan sees every frame as a fresh allocation).
 #pragma once
 
 #include <cstddef>
 
 namespace pagoda::sim {
 
-#if defined(__SANITIZE_ADDRESS__)
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
 #define PAGODA_FRAME_POOL_DISABLED 1
 #elif defined(__has_feature)
-#if __has_feature(address_sanitizer)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
 #define PAGODA_FRAME_POOL_DISABLED 1
 #endif
 #endif

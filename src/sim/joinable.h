@@ -8,17 +8,31 @@
 #include <memory>
 #include <vector>
 
+#include "sim/shard.h"
+
 namespace pagoda::sim {
 
 class Simulation;
 
+/// The shard whose context is currently executing on `sim` (kHostShard when
+/// sim is null). Out-of-line so this header stays independent of
+/// simulation.h (which includes it).
+ShardId current_shard_of(const Simulation* sim);
+
 /// Completion state shared between a (self-destroying) process frame and any
-/// outstanding Process tokens / join handles.
+/// outstanding Process tokens / join handles. `home` is the shard the
+/// process was spawned on; joiners record their own home so completion can
+/// wake each of them on the right shard.
 struct ProcessState {
   Simulation* sim = nullptr;
   bool spawned = false;
   bool done = false;
-  std::vector<std::coroutine_handle<>> joiners;
+  ShardId home = kHostShard;
+  struct Joiner {
+    std::coroutine_handle<> handle;
+    ShardId home;
+  };
+  std::vector<Joiner> joiners;
 };
 
 /// Copyable handle for awaiting completion of a spawned process.
@@ -37,7 +51,8 @@ class Joinable {
       std::shared_ptr<ProcessState> st;
       bool await_ready() const noexcept { return st->done; }
       void await_suspend(std::coroutine_handle<> h) {
-        st->joiners.push_back(h);
+        st->joiners.push_back(
+            ProcessState::Joiner{h, current_shard_of(st->sim)});
       }
       void await_resume() const noexcept {}
     };

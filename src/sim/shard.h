@@ -1,0 +1,41 @@
+// Shard identities for the partitioned simulation core.
+//
+// A shard is an independent event domain: shard 0 ("the host shard") carries
+// every host-side process (dispatchers, arrival sources, samplers, data-copy
+// chains), and each GpuNode owns one shard for its device-internal events
+// (MasterKernel scheduler/executor warps, SMM execution timers, runtime
+// protocol streams). Cross-shard interactions travel through typed posts
+// (see Simulation::invoke_on / resume_on / defer_on) that stamp a
+// deterministic (timestamp, src_shard, src_seq) merge key, so the merged
+// order is independent of worker-thread interleaving.
+//
+// Shard 0 always exists; a Simulation without configure_shards() is the
+// single-shard legacy build and behaves exactly as before this layer.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time_types.h"
+
+namespace pagoda::sim {
+
+/// Index of an event shard within one Simulation. Shard 0 is the host shard.
+using ShardId = std::uint16_t;
+
+inline constexpr ShardId kHostShard = 0;
+
+/// EventIds reserve 10 bits for the owning shard: 1 host + up to 1022 nodes,
+/// comfortably above the 256-node fleet target.
+inline constexpr int kMaxShards = 1023;
+
+/// Counters the coordinator keeps per run; exposed for tests and the
+/// fleet_scale bench (they prove windows actually parallelize).
+struct ShardStats {
+  std::uint64_t windows = 0;          ///< parallel windows executed
+  std::uint64_t window_events = 0;    ///< events run inside windows
+  std::uint64_t serial_events = 0;    ///< events run in host/serial phases
+  std::uint64_t posts = 0;            ///< cross-shard messages merged
+  std::uint64_t window_stops = 0;     ///< drains cut short by a post
+};
+
+}  // namespace pagoda::sim

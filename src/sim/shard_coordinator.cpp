@@ -1,0 +1,174 @@
+#include "sim/shard_coordinator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace pagoda::sim {
+
+ShardCoordinator::ShardCoordinator(Simulation& sim, int threads)
+    : sim_(&sim) {
+  PAGODA_CHECK(threads >= 2);
+  const int spawn = threads - 1;
+  workers_.reserve(static_cast<std::size_t>(spawn));
+  for (int i = 0; i < spawn; ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+}
+
+ShardCoordinator::~ShardCoordinator() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ShardCoordinator::run_until(Time cap) {
+  Simulation& sim = *sim_;
+  for (;;) {
+    const EventKey host = sim.shards_[0]->queue.next_key();
+    EventKey node_min;
+    for (std::size_t i = 1; i < sim.shards_.size(); ++i) {
+      const EventKey k = sim.shards_[i]->queue.next_key();
+      if (k < node_min) node_min = k;
+    }
+    const bool host_due = host.valid() && host.at <= cap;
+    const bool node_due = node_min.valid() && node_min.at <= cap;
+    if (!host_due && !node_due) return;
+    if (host_due && host < node_min) {
+      // Serial host phase: the host holds the globally least key, every
+      // node shard is parked strictly behind it.
+      sim.step_shard(*sim.shards_[0]);
+      stats_.serial_events += 1;
+      continue;
+    }
+    // Parallel window up to the host head (or the cap boundary). cap is
+    // far below kTimeMax in practice (run() passes kTimeMax - 1), so the
+    // +1 cannot overflow.
+    EventKey cut = host;
+    if (!cut.valid() || cut.at > cap) cut = EventKey{cap + 1, 0};
+    run_window(cut);
+  }
+}
+
+void ShardCoordinator::run_window(const EventKey& cut) {
+  Simulation& sim = *sim_;
+  active_.clear();
+  for (std::size_t i = 1; i < sim.shards_.size(); ++i) {
+    const EventKey k = sim.shards_[i]->queue.next_key();
+    if (k.valid() && k < cut) active_.push_back(static_cast<ShardId>(i));
+  }
+  if (active_.empty()) return;  // nothing strictly below the cut
+  for (const ShardId id : active_) {
+    Simulation::Shard& s = *sim.shards_[id];
+    // Disjoint per-shard sequence ranges, carved in shard order from the
+    // global counter: deterministic regardless of worker interleaving, and
+    // all larger than every previously stamped sequence.
+    s.window_seq = sim.next_seq_;
+    s.window_seq_end = sim.next_seq_ + kWindowSpan;
+    sim.next_seq_ += kWindowSpan;
+    s.stop = false;
+    s.post_order = 0;
+    s.drained = 0;
+  }
+  stats_.windows += 1;
+  if (active_.size() == 1 || workers_.empty()) {
+    for (const ShardId id : active_) drain(*sim.shards_[id], cut);
+  } else {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      cut_ = cut;
+      next_claim_.store(0, std::memory_order_relaxed);
+      busy_workers_ = static_cast<int>(workers_.size());
+      gen_ += 1;
+    }
+    cv_work_.notify_all();
+    drain_claimed();  // the coordinating thread is a worker too
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [this] { return busy_workers_ == 0; });
+  }
+  for (const ShardId id : active_) {
+    Simulation::Shard& s = *sim.shards_[id];
+    stats_.window_events += s.drained;
+    if (s.stop) stats_.window_stops += 1;
+  }
+  merge_outboxes();
+}
+
+void ShardCoordinator::drain_claimed() {
+  for (;;) {
+    const std::size_t i = next_claim_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= active_.size()) return;
+    drain(*sim_->shards_[active_[i]], cut_);
+  }
+}
+
+void ShardCoordinator::drain(Simulation::Shard& s, const EventKey& cut) {
+  internal::set_window_shard(&s);
+  for (;;) {
+    const EventKey k = s.queue.next_key();
+    if (!k.valid() || !(k < cut)) break;
+    EventQueue::Popped e = s.queue.pop();
+    s.now = e.at;
+    e.run();
+    s.drained += 1;
+    if (s.stop) break;  // posted cross-shard: the host may react at s.now
+  }
+  internal::set_window_shard(nullptr);
+}
+
+void ShardCoordinator::merge_outboxes() {
+  Simulation& sim = *sim_;
+  merge_buf_.clear();
+  for (const ShardId id : active_) {
+    Simulation::Shard& s = *sim.shards_[id];
+    for (Simulation::Post& p : s.outbox) merge_buf_.push_back(std::move(p));
+    s.outbox.clear();
+  }
+  if (merge_buf_.empty()) return;
+  std::sort(merge_buf_.begin(), merge_buf_.end(),
+            [](const Simulation::Post& a, const Simulation::Post& b) {
+              if (a.at != b.at) return a.at < b.at;
+              if (a.src != b.src) return a.src < b.src;
+              return a.order < b.order;
+            });
+  for (Simulation::Post& p : merge_buf_) {
+    Simulation::Shard& tgt = *sim.shards_[p.target];
+    // The window cut is the host head key, so a shard may drain past the
+    // time of another shard's post. A post must still never land behind its
+    // TARGET's drained point — that would run the target's clock backwards
+    // and silently reorder against the sequential schedule. Fail loudly;
+    // a plane that needs such a zero-lookahead coupling must declare
+    // Simulation::require_serial().
+    PAGODA_CHECK_MSG(p.at >= tgt.now,
+                     "cross-shard post merged into the target shard's past "
+                     "(causality violation: the window cut outran this "
+                     "coupling's lookahead)");
+    if (p.resume) {
+      tgt.queue.schedule_resume(p.at, p.resume, sim.next_seq_++);
+    } else {
+      tgt.queue.schedule(p.at, std::move(p.fn), sim.next_seq_++);
+    }
+    stats_.posts += 1;
+  }
+}
+
+void ShardCoordinator::worker_main() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    cv_work_.wait(lk, [&] { return stop_ || gen_ != seen; });
+    if (stop_) return;
+    seen = gen_;
+    lk.unlock();
+    drain_claimed();
+    lk.lock();
+    busy_workers_ -= 1;
+    if (busy_workers_ == 0) cv_done_.notify_all();
+  }
+}
+
+}  // namespace pagoda::sim

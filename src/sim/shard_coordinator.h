@@ -1,0 +1,83 @@
+// Conservative-lookahead coordinator for sharded parallel execution.
+//
+// The window loop (run_until):
+//
+//   1. Compare the host shard's head key against every node shard's head.
+//   2. Host leads -> run host events serially. Host events have full
+//      cross-shard freedom: every node shard is parked strictly BEHIND the
+//      host key, so reads and writes into node state observe exactly the
+//      sequential-order view.
+//   3. A node shard leads -> open a parallel window with cut = the host
+//      head key. Workers drain each node shard's events with key < cut.
+//      Node events touch only their own shard; the natural lookahead is the
+//      PCIe/link latency (transfer completions are scheduled at least one
+//      link latency ahead of issue), and anything host-facing becomes a
+//      post that also stops the shard's drain for this window.
+//   4. Barrier. Merge every shard's outbox in (time, src_shard, src_seq)
+//      order onto the target queues, stamping fresh global sequence
+//      numbers. Repeat.
+//
+// Determinism: the window structure, per-window sequence ranges and merge
+// order depend only on event content — never on thread scheduling — so any
+// N >= 2 produces the identical event order, and that order matches
+// sequential sharded execution except for same-timestamp ties between
+// independent shards (which commute; the equivalence soak pins byte-equal
+// output across all three modes).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/shard.h"
+#include "sim/simulation.h"
+
+namespace pagoda::sim {
+
+class ShardCoordinator {
+ public:
+  /// Spawns `threads - 1` workers (the coordinating thread is the Nth).
+  ShardCoordinator(Simulation& sim, int threads);
+  ShardCoordinator(const ShardCoordinator&) = delete;
+  ShardCoordinator& operator=(const ShardCoordinator&) = delete;
+  ~ShardCoordinator();
+
+  /// Runs events with timestamp <= cap in window/serial phases.
+  void run_until(Time cap);
+
+  const ShardStats& stats() const { return stats_; }
+
+ private:
+  /// Sequence numbers one shard may stamp inside a single window. Carved
+  /// from the global counter per shard per window; a shard scheduling more
+  /// than this in one window trips a check.
+  static constexpr std::uint64_t kWindowSpan = 1ull << 20;
+
+  void run_window(const EventKey& cut);
+  void drain(Simulation::Shard& s, const EventKey& cut);
+  void drain_claimed();  ///< claim shards off active_ until exhausted
+  void merge_outboxes();
+  void worker_main();
+
+  Simulation* sim_;
+  ShardStats stats_;
+
+  // Window publication. All fields below are written by the coordinator
+  // under mu_ before bumping gen_; workers observe them after waking.
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::uint64_t gen_ = 0;
+  int busy_workers_ = 0;
+  bool stop_ = false;
+  EventKey cut_;
+  std::vector<ShardId> active_;
+  std::atomic<std::size_t> next_claim_{0};
+
+  std::vector<Simulation::Post> merge_buf_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace pagoda::sim

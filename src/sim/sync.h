@@ -43,7 +43,8 @@ class Condition {
       Condition* cv;
       bool await_ready() const noexcept { return false; }
       void await_suspend(std::coroutine_handle<> h) {
-        cv->waiters_.push_back(Waiter{cv->next_id_++, h, 0, nullptr});
+        cv->waiters_.push_back(Waiter{cv->next_id_++, h, 0, nullptr,
+                                      cv->sim_->current_shard()});
       }
       void await_resume() const noexcept {}
     };
@@ -64,7 +65,8 @@ class Condition {
           cv->drop_waiter(id);
           h.resume();
         });
-        cv->waiters_.push_back(Waiter{id, h, ev, &notified});
+        cv->waiters_.push_back(
+            Waiter{id, h, ev, &notified, cv->sim_->current_shard()});
       }
       bool await_resume() const noexcept { return notified; }
     };
@@ -93,13 +95,28 @@ class Condition {
     std::coroutine_handle<> handle;
     EventId timeout_event;     // 0 if untimed
     bool* notified_flag;       // lives in the suspended awaiter frame
+    ShardId home;              // shard the waiter suspended on; wakes land
+                               // back there (cross-shard wakes become posts)
   };
 
   void wake(std::vector<Waiter>& woken) {
     for (Waiter& w : woken) {
-      if (w.timeout_event != 0) sim_->cancel(w.timeout_event);
+      if (w.timeout_event != 0) {
+        // The timeout event lives on the waiter's home shard. A cross-shard
+        // notify from inside a parallel window cannot cancel it (the queue
+        // belongs to another worker), and deferring the cancel to the merge
+        // would race the timeout itself — so a timed wait notified across
+        // shards is only defined under the serial order. Fail with the real
+        // story instead of the generic cross-shard-cancel check.
+        PAGODA_CHECK_MSG(
+            !sim_->in_parallel_window() || w.home == sim_->current_shard(),
+            "cross-shard notify of a timed Condition waiter inside a "
+            "parallel window; a plane mixing wait_for() with cross-shard "
+            "notifies must declare Simulation::require_serial()");
+        sim_->cancel(w.timeout_event);
+      }
       if (w.notified_flag != nullptr) *w.notified_flag = true;
-      sim_->defer_resume(w.handle);
+      sim_->resume_on(w.home, w.handle);
     }
   }
 
@@ -125,18 +142,18 @@ class Trigger {
   Trigger(const Trigger&) = delete;
   Trigger& operator=(const Trigger&) = delete;
   ~Trigger() {
-    for (std::coroutine_handle<> h : waiters_) h.destroy();
+    for (const Waiter& w : waiters_) w.handle.destroy();
   }
 
   void fire() {
     if (fired_) return;
     fired_ = true;
-    for (std::coroutine_handle<> h : waiters_) {
-      sim_->defer_resume(h);
+    for (const Waiter& w : waiters_) {
+      sim_->resume_on(w.home, w.handle);
     }
     waiters_.clear();
-    for (auto& fn : callbacks_) {
-      sim_->defer(std::move(fn));
+    for (Callback& cb : callbacks_) {
+      sim_->defer_on(cb.home, std::move(cb.fn));
     }
     callbacks_.clear();
   }
@@ -148,7 +165,7 @@ class Trigger {
     if (fired_) {
       sim_->defer(std::move(fn));
     } else {
-      callbacks_.push_back(std::move(fn));
+      callbacks_.push_back(Callback{std::move(fn), sim_->current_shard()});
     }
   }
 
@@ -156,17 +173,28 @@ class Trigger {
     struct Awaiter {
       Trigger* t;
       bool await_ready() const noexcept { return t->fired_; }
-      void await_suspend(std::coroutine_handle<> h) { t->waiters_.push_back(h); }
+      void await_suspend(std::coroutine_handle<> h) {
+        t->waiters_.push_back(Waiter{h, t->sim_->current_shard()});
+      }
       void await_resume() const noexcept {}
     };
     return Awaiter{this};
   }
 
  private:
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    ShardId home;
+  };
+  struct Callback {
+    std::function<void()> fn;
+    ShardId home;
+  };
+
   Simulation* sim_;
   bool fired_ = false;
-  std::vector<std::coroutine_handle<>> waiters_;
-  std::vector<std::function<void()>> callbacks_;
+  std::vector<Waiter> waiters_;
+  std::vector<Callback> callbacks_;
 };
 
 /// Counting semaphore with FIFO grant order.
@@ -203,7 +231,7 @@ class Semaphore {
         return false;
       }
       void await_suspend(std::coroutine_handle<> h) {
-        s->waiters_.push_back(Waiter{h, &granted});
+        s->waiters_.push_back(Waiter{h, &granted, s->sim_->current_shard()});
       }
       bool await_resume() const noexcept { return granted; }
     };
@@ -215,7 +243,7 @@ class Semaphore {
       const Waiter w = waiters_.front();
       waiters_.pop_front();
       *w.granted = true;
-      sim_->defer_resume(w.handle);
+      sim_->resume_on(w.home, w.handle);
     } else {
       ++count_;
     }
@@ -229,7 +257,7 @@ class Semaphore {
     closed_ = true;
     std::deque<Waiter> woken;
     woken.swap(waiters_);
-    for (const Waiter& w : woken) sim_->defer_resume(w.handle);
+    for (const Waiter& w : woken) sim_->resume_on(w.home, w.handle);
   }
 
   void reopen() { closed_ = false; }
@@ -241,6 +269,7 @@ class Semaphore {
   struct Waiter {
     std::coroutine_handle<> handle;
     bool* granted;  // lives in the suspended awaiter frame
+    ShardId home;   // shard the acquirer suspended on
   };
 
   Simulation* sim_;

@@ -1,0 +1,108 @@
+// The determinism soak for the sharded simulation core.
+//
+// For every seed, one cluster serving run is executed three ways:
+//   * global     — the pre-shard single event queue (--sim-core=global);
+//   * sharded/1  — per-node shards, sequential driver (the default);
+//   * sharded/N  — per-node shards drained by an N-thread worker pool.
+// The full --metrics JSON (and, on alternating seeds, the --trace-spans
+// dump) must be byte-identical across all three. Seeds rotate through a
+// plain run, a fault-plan run and a power-plane run so the serialize
+// fallbacks (require_serial) are pinned alongside the true parallel path.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "harness/calibration.h"
+#include "harness/experiment.h"
+#include "obs/collector.h"
+
+namespace pagoda {
+namespace {
+
+constexpr int kSeeds = 50;
+constexpr int kWorkerThreads = 3;
+
+enum class Plane { kPlain, kFaults, kPower };
+
+struct Dump {
+  std::string metrics;
+  std::string spans;
+};
+
+/// One small fixed-workload cluster run; returns the observability bytes.
+Dump run_once(std::uint64_t seed, Plane plane, bool want_spans,
+              bool global_queue, int sim_threads) {
+  workloads::WorkloadConfig wcfg;
+  wcfg.num_tasks = 64;
+  wcfg.threads_per_task = 128;
+  wcfg.seed = seed;
+
+  baselines::RunConfig rcfg = harness::paper_platform();
+  rcfg.mode = gpu::ExecMode::Model;
+  rcfg.collect_latencies = true;
+  rcfg.cluster.specs = {gpu::GpuSpec::titan_x(), gpu::GpuSpec::titan_x(),
+                        gpu::GpuSpec::tesla_k40()};
+  rcfg.cluster.policy = "least-loaded";
+  rcfg.cluster.arrival = "poisson:150000";
+  rcfg.cluster.slo = sim::microseconds(5000.0);
+  rcfg.cluster.seed = seed;
+  rcfg.cluster.global_queue = global_queue;
+  rcfg.cluster.sim_threads = sim_threads;
+  if (plane == Plane::kFaults) {
+    rcfg.cluster.faults = "task:0.05,xfer:0.02";
+    rcfg.cluster.task_timeout = sim::microseconds(4000.0);
+  } else if (plane == Plane::kPower) {
+    rcfg.cluster.power = "default";
+    rcfg.cluster.governor = "dvfs";
+  }
+
+  obs::CollectorConfig ccfg;
+  ccfg.sample_period = sim::microseconds(20.0);
+  ccfg.spans = want_spans;
+  obs::Collector collector(ccfg);
+  rcfg.collector = &collector;
+
+  const harness::Measurement m =
+      harness::run_experiment("MM", "Cluster", wcfg, rcfg);
+
+  Dump d;
+  std::ostringstream metrics;
+  m.metrics.write_json(metrics);
+  d.metrics = metrics.str();
+  if (want_spans) {
+    std::ostringstream spans;
+    collector.request_tracer().write_json(spans);
+    d.spans = spans.str();
+  }
+  return d;
+}
+
+TEST(ShardEquivalenceSoak, FiftySeedsTriModal) {
+  for (int i = 0; i < kSeeds; ++i) {
+    const std::uint64_t seed = 0x9A60DAULL + static_cast<std::uint64_t>(i);
+    const Plane plane = static_cast<Plane>(i % 3);
+    // Odd seeds dump spans too. Spans pin the serialize fallback; even
+    // seeds without spans let the N-thread run exercise real parallel
+    // windows, pinning the window merge against the sequential order.
+    const bool spans = (i % 2) == 1;
+
+    const Dump global = run_once(seed, plane, spans, true, 1);
+    const Dump seq = run_once(seed, plane, spans, false, 1);
+    const Dump par = run_once(seed, plane, spans, false, kWorkerThreads);
+
+    ASSERT_EQ(global.metrics, seq.metrics)
+        << "seed " << seed << ": sharded-sequential metrics diverged from "
+        << "the global queue";
+    ASSERT_EQ(seq.metrics, par.metrics)
+        << "seed " << seed << ": " << kWorkerThreads
+        << "-thread metrics diverged from sequential";
+    if (spans) {
+      ASSERT_EQ(global.spans, seq.spans) << "seed " << seed;
+      ASSERT_EQ(seq.spans, par.spans) << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pagoda

@@ -1,0 +1,258 @@
+// Unit tests for the sharded simulation core: EventQueue id-reuse hardening,
+// shard scoping/routing, cross-shard channels, and the parallel window
+// coordinator's equivalence with the sequential driver.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/process.h"
+#include "sim/simulation.h"
+#include "sim/sync.h"
+
+namespace pagoda::sim {
+namespace {
+
+// --- EventQueue cancel hardening ------------------------------------------
+
+/// A cancelled id whose slot was since reused by a NEW event must not cancel
+/// the new event: the generation stamped into the id has moved on. This is
+/// the double-cancel-across-slab-reuse regression pinned by the explicit
+/// generation check in EventQueue::cancel.
+TEST(EventCancelSlabReuse, StaleIdDoesNotCancelReusedSlot) {
+  EventQueue q;
+  int fired = 0;
+  const EventId a = q.schedule(10, [&] { fired += 1; });
+  ASSERT_TRUE(q.cancel(a));
+  // The freed slot is recycled (LIFO free list): b lands in a's slab slot
+  // with a bumped generation.
+  const EventId b = q.schedule(20, [&] { fired += 10; });
+  EXPECT_FALSE(q.cancel(a)) << "stale id cancelled a reused slot";
+  EXPECT_FALSE(q.cancel(a)) << "double-cancel of a stale id succeeded";
+  while (!q.empty()) q.pop().run();
+  EXPECT_EQ(fired, 10) << "the reused slot's event must still fire";
+  (void)b;
+}
+
+TEST(EventCancelSlabReuse, CancelAfterFireIsRejected) {
+  EventQueue q;
+  const EventId a = q.schedule(5, [] {});
+  q.pop().run();
+  EXPECT_FALSE(q.cancel(a));
+  // And the slot reuse after a natural pop is likewise protected.
+  const EventId b = q.schedule(7, [] {});
+  EXPECT_FALSE(q.cancel(a));
+  EXPECT_TRUE(q.cancel(b));
+}
+
+TEST(EventCancelSlabReuse, ZeroAndForeignIdsAreRejected) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(0));
+  EXPECT_FALSE(q.cancel(static_cast<EventId>(1) << 32));  // slot never used
+}
+
+// --- shard configuration and routing --------------------------------------
+
+TEST(Shards, ConfigureGrowsNodeShards) {
+  Simulation sim;
+  EXPECT_EQ(sim.num_shards(), 1);
+  sim.configure_shards(4);
+  EXPECT_EQ(sim.num_shards(), 5);
+}
+
+TEST(Shards, DisabledShardingIgnoresConfigure) {
+  Simulation sim;
+  sim.set_sharding_enabled(false);
+  sim.configure_shards(4);
+  EXPECT_EQ(sim.num_shards(), 1);
+  // Scopes degrade to the host shard instead of tripping checks.
+  Simulation::ShardScope scope(sim, 3);
+  EXPECT_EQ(sim.current_shard(), kHostShard);
+}
+
+TEST(Shards, ScopeRoutesSchedulingAndRestores) {
+  Simulation sim;
+  sim.configure_shards(2);
+  {
+    Simulation::ShardScope scope(sim, 2);
+    EXPECT_EQ(sim.current_shard(), 2);
+    {
+      Simulation::ShardScope inner(sim, 1);
+      EXPECT_EQ(sim.current_shard(), 1);
+    }
+    EXPECT_EQ(sim.current_shard(), 2);
+  }
+  EXPECT_EQ(sim.current_shard(), kHostShard);
+}
+
+/// Sequential-sharded pop order must equal the schedule order at equal
+/// timestamps regardless of which shard each event lives on — the global
+/// sequence counter, not shard topology, decides ties. This is the invariant
+/// that keeps the sharded build byte-identical to the single-queue build.
+TEST(Shards, SequentialMergePreservesGlobalScheduleOrder) {
+  Simulation sim;
+  sim.configure_shards(3);
+  std::vector<int> order;
+  for (int i = 0; i < 12; ++i) {
+    Simulation::ShardScope scope(
+        sim, static_cast<ShardId>(i % 4));  // host, 1, 2, 3, host, ...
+    sim.at(100, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  ASSERT_EQ(order.size(), 12u);
+  for (int i = 0; i < 12; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Shards, CancelWorksAcrossShardsSequentially) {
+  Simulation sim;
+  sim.configure_shards(2);
+  bool fired = false;
+  EventId id = 0;
+  {
+    Simulation::ShardScope scope(sim, 2);
+    id = sim.at(50, [&] { fired = true; });
+  }
+  // Host context cancelling a node-shard event: allowed while sequential.
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Shards, SpawnRecordsHomeShardAndJoinCrossesShards) {
+  Simulation sim;
+  sim.configure_shards(1);
+  std::vector<std::string> log;
+  Joinable worker;
+  {
+    Simulation::ShardScope scope(sim, 1);
+    worker = sim.spawn([](Simulation& s, std::vector<std::string>& out)
+                           -> Process {
+      std::string entry = "worker@";
+      entry += std::to_string(s.current_shard());
+      out.push_back(std::move(entry));
+      co_await s.delay(30);
+      out.push_back("worker-done");
+    }(sim, log));
+  }
+  sim.spawn([](Simulation& s, Joinable j,
+               std::vector<std::string>& out) -> Process {
+    co_await j.join();
+    std::string entry = "joined@";
+    entry += std::to_string(s.current_shard());
+    out.push_back(std::move(entry));
+  }(sim, worker, log));
+  sim.run();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0], "worker@1");
+  EXPECT_EQ(log[1], "worker-done");
+  EXPECT_EQ(log[2], "joined@0");
+}
+
+TEST(Shards, InvokeOnIsImmediateInSequentialContext) {
+  Simulation sim;
+  sim.configure_shards(2);
+  bool ran = false;
+  sim.invoke_on(kHostShard, [&] { ran = true; });
+  EXPECT_TRUE(ran) << "sequential invoke_on must be a direct call";
+}
+
+TEST(Shards, RequireSerialDisablesParallelWindows) {
+  Simulation sim;
+  sim.configure_shards(2);
+  sim.set_worker_threads(4);
+  sim.require_serial("test pin");
+  ASSERT_STREQ(sim.serial_reason(), "test pin");
+  int fired = 0;
+  for (ShardId s = 0; s < 3; ++s) {
+    Simulation::ShardScope scope(sim, s);
+    sim.at(10, [&] { fired++; });
+  }
+  sim.run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.shard_stats().windows, 0u)
+      << "require_serial must keep the coordinator out of window mode";
+}
+
+// --- parallel windows -------------------------------------------------------
+
+/// One ping-pong chain per node shard plus a host-side observer; the
+/// N-thread window run must produce exactly the event interleaving the
+/// sequential run does for everything the host can see.
+struct ParallelHarness {
+  static std::vector<std::string> run(int threads, int shards, int rounds) {
+    Simulation sim;
+    sim.configure_shards(shards);
+    if (threads > 1) sim.set_worker_threads(threads);
+    std::vector<std::string> log;
+    for (int n = 0; n < shards; ++n) {
+      Simulation::ShardScope scope(sim, static_cast<ShardId>(1 + n));
+      sim.spawn(node_loop(sim, n, rounds, log));
+    }
+    sim.run();
+    return log;
+  }
+
+  static Process node_loop(Simulation& sim, int node, int rounds,
+                           std::vector<std::string>& log) {
+    for (int r = 0; r < rounds; ++r) {
+      co_await sim.delay(100 + node * 7);  // staggered, overlapping chains
+      // Cross-shard notification to the host shard: the typed channel the
+      // dispatcher's completion path uses.
+      sim.invoke_on(kHostShard, [&log, node, r, &sim] {
+        std::string entry = "n";
+        entry += std::to_string(node);
+        entry += ":r";
+        entry += std::to_string(r);
+        entry += "@";
+        entry += std::to_string(sim.now());
+        log.push_back(std::move(entry));
+      });
+    }
+  }
+};
+
+TEST(ParallelWindows, HostVisibleOrderMatchesSequential) {
+  const std::vector<std::string> seq = ParallelHarness::run(1, 4, 16);
+  const std::vector<std::string> par = ParallelHarness::run(3, 4, 16);
+  EXPECT_EQ(seq, par);
+}
+
+TEST(ParallelWindows, RunUntilStopsAtCapInBothModes) {
+  for (const int threads : {1, 3}) {
+    Simulation sim;
+    sim.configure_shards(2);
+    if (threads > 1) sim.set_worker_threads(threads);
+    int fired = 0;
+    for (ShardId s = 1; s <= 2; ++s) {
+      Simulation::ShardScope scope(sim, s);
+      sim.at(100, [&] { fired++; });
+      sim.at(300, [&] { fired++; });
+    }
+    sim.run_until(200);
+    EXPECT_EQ(fired, 2) << threads << " threads";
+    EXPECT_EQ(sim.now(), 200);
+    sim.run_until(400);
+    EXPECT_EQ(fired, 4) << threads << " threads";
+  }
+}
+
+TEST(ParallelWindows, StatsRecordWindowActivity) {
+  Simulation sim;
+  sim.configure_shards(4);
+  sim.set_worker_threads(3);
+  for (ShardId s = 1; s <= 4; ++s) {
+    Simulation::ShardScope scope(sim, s);
+    sim.spawn([](Simulation& sm) -> Process {
+      for (int i = 0; i < 50; ++i) co_await sm.delay(10);
+    }(sim));
+  }
+  sim.run();
+  const ShardStats& st = sim.shard_stats();
+  EXPECT_GT(st.windows, 0u);
+  EXPECT_GT(st.window_events, 0u);
+}
+
+}  // namespace
+}  // namespace pagoda::sim

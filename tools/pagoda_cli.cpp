@@ -1,7 +1,8 @@
 // pagoda_cli: run any (workload x runtime) experiment from the command line.
 //
-//   pagoda_cli --workload=MM --runtime=Pagoda --tasks=4096 --threads=128
+//   pagoda_cli --workload=MM --runtime=Pagoda --tasks=4096 --task-threads=128
 //   pagoda_cli --workload=3DES --runtime=HyperQ --no-copies
+//   pagoda_cli --workload=MM --gpus=64 --arrival=poisson:2.0 --threads=4
 //   pagoda_cli --workload=MB --runtime=Pagoda --compute     # verify outputs
 //   pagoda_cli --workload=MM --runtime=Pagoda --trace=out.csv
 //   pagoda_cli --workload=MM --runtime=GeMTC --metrics
@@ -18,6 +19,11 @@
 // grids and counter tracks; `--trace` dumps the raw event trace for ANY
 // runtime — the Pagoda protocol trace for Pagoda runtimes, the generic
 // timeline for the rest.
+//
+// `--threads=N` (Cluster runtime only) runs the sharded simulation core on
+// an N-thread worker pool; results are identical to --threads=1.
+// `--sim-core=global` forces the pre-shard single global event queue.
+#include <algorithm>
 #include <array>
 #include <cmath>
 #include <cstdio>
@@ -26,6 +32,7 @@
 #include <iostream>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "baselines/factories.h"
 #include "cluster/placement.h"
@@ -58,7 +65,7 @@ int list_options() {
   }
   std::printf("(or a comma list, or \"all\" for a comparison table)\n");
   std::printf(
-      "flags:     --tasks=N --threads=N --blocks=N --seed=N --input=N\n"
+      "flags:     --tasks=N --task-threads=N --blocks=N --seed=N --input=N\n"
       "           --irregular --dynamic-threads --no-shmem --no-copies\n"
       "           --compute --batch=N --rows=N --two-copy\n"
       "           --metrics[=out.json] --metrics-period=US\n"
@@ -71,6 +78,8 @@ int list_options() {
       "runtime)\n"
       "           --policy=NAME --arrival=SPEC --slo-us=X --queue-limit=N\n"
       "           --faults=SPEC --retry-budget=N --task-timeout-us=X\n"
+      "           --threads=N (simulation worker pool) "
+      "--sim-core=sharded|global\n"
       "           --trace-spans=out.json   (per-request causal span dump;\n"
       "            analyze with tools/trace_report)\n"
       "power:     --power=SPEC --governor=NAME --power-cap-watts=X\n"
@@ -135,6 +144,15 @@ int list_policies() {
   }
   std::printf("\npower spec (--power): %s\n",
               power::PowerSpec::grammar());
+  std::printf(
+      "\nsimulation core (--sim-core, --threads, Cluster runtime only):\n");
+  std::printf("  %-18s %s\n", "sharded",
+              "per-node event shards, lookahead barrier (the default)");
+  std::printf("  %-18s %s\n", "global",
+              "pre-shard single event queue (determinism reference)");
+  std::printf("  %-18s %s\n", "--threads=N",
+              "worker threads draining node shards; N=1 is sequential and "
+              "exact (threads per task moved to --task-threads)");
   return 0;
 }
 
@@ -182,7 +200,7 @@ std::vector<gpu::GpuSpec> parse_gpus(const std::string& v) {
   std::vector<gpu::GpuSpec> specs;
   if (v.find_first_not_of("0123456789") == std::string::npos && !v.empty()) {
     const int n = std::stoi(v);
-    if (n < 1 || n > 64) return {};
+    if (n < 1 || n > 256) return {};
     specs.assign(static_cast<std::size_t>(n), gpu::GpuSpec::titan_x());
     return specs;
   }
@@ -261,12 +279,13 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const std::string bad = flags.unknown(
       {"list", "list-workloads", "list-policies", "help", "workload",
-       "runtime", "tasks", "threads", "seed", "input", "blocks", "irregular",
-       "dynamic-threads", "no-shmem", "compute", "no-copies", "batch", "rows",
-       "two-copy", "trace", "trace-format", "metrics", "metrics-period",
-       "profile", "gpus", "policy", "arrival", "slo-us", "queue-limit",
-       "faults", "retry-budget", "task-timeout-us", "sched-policy", "class",
-       "weights", "trace-spans", "power", "governor", "power-cap-watts"});
+       "runtime", "tasks", "threads", "task-threads", "seed", "input",
+       "blocks", "irregular", "dynamic-threads", "no-shmem", "compute",
+       "no-copies", "batch", "rows", "two-copy", "trace", "trace-format",
+       "metrics", "metrics-period", "profile", "gpus", "policy", "arrival",
+       "slo-us", "queue-limit", "faults", "retry-budget", "task-timeout-us",
+       "sched-policy", "class", "weights", "trace-spans", "power", "governor",
+       "power-cap-watts", "sim-core"});
   if (!bad.empty()) {
     std::fprintf(stderr, "error: unknown argument '%s' (try --help)\n",
                  bad.c_str());
@@ -289,7 +308,7 @@ int main(int argc, char** argv) {
   }
   for (const char* f : {"faults", "retry-budget", "task-timeout-us",
                         "trace-spans", "power", "governor",
-                        "power-cap-watts"}) {
+                        "power-cap-watts", "threads", "sim-core"}) {
     if (flags.has(f) && (multi || rts[0] != "Cluster")) {
       std::fprintf(stderr, "error: --%s only applies to --runtime=Cluster\n",
                    f);
@@ -302,7 +321,7 @@ int main(int argc, char** argv) {
 
   workloads::WorkloadConfig wcfg;
   wcfg.num_tasks = static_cast<int>(flags.get_int("tasks", 4096));
-  wcfg.threads_per_task = static_cast<int>(flags.get_int("threads", 128));
+  wcfg.threads_per_task = static_cast<int>(flags.get_int("task-threads", 128));
   wcfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 0x9A60DA));
   wcfg.input_scale = static_cast<int>(flags.get_int("input", 0));
   wcfg.blocks_per_task = static_cast<int>(flags.get_int("blocks", 1));
@@ -364,6 +383,50 @@ int main(int argc, char** argv) {
                    flags.get("gpus").c_str());
       return 1;
     }
+    // Simulation-core controls. Strict like --policy: reject nonsense
+    // outright, warn when the pool oversubscribes the machine.
+    rcfg.cluster.global_queue =
+        flags.get_enum("sim-core", "sharded", {"sharded", "global"}) ==
+        "global";
+    const std::int64_t sim_threads = flags.get_int("threads", 1);
+    if (sim_threads < 1) {
+      std::fprintf(stderr,
+                   "error: --threads must be >= 1 (1 = the sequential "
+                   "sharded core; see --list-policies)\n");
+      return 1;
+    }
+    if (rcfg.cluster.global_queue && sim_threads > 1) {
+      std::fprintf(stderr,
+                   "error: --sim-core=global is the single-queue reference "
+                   "core and cannot use a worker pool; drop --threads or "
+                   "use --sim-core=sharded\n");
+      return 1;
+    }
+    // --threads sizes the simulation worker pool; before the sharded core
+    // it meant threads-per-task (now --task-threads). A stale script passing
+    // a workload-sized value (e.g. --threads=128) must fail loudly, not
+    // silently spawn a 128-thread pool, so anything beyond both the machine
+    // and a small oversubscription floor is rejected outright.
+    const unsigned hw = std::thread::hardware_concurrency();
+    const std::int64_t pool_cap =
+        std::max<std::int64_t>(hw == 0 ? 8 : static_cast<std::int64_t>(hw), 8);
+    if (sim_threads > pool_cap) {
+      std::fprintf(stderr,
+                   "error: --threads=%lld is not a plausible worker-pool "
+                   "size on this machine (%u hardware threads, cap %lld). "
+                   "--threads sizes the simulation worker pool; if you meant "
+                   "threads per task, that flag is now --task-threads=N\n",
+                   static_cast<long long>(sim_threads), hw,
+                   static_cast<long long>(pool_cap));
+      return 1;
+    }
+    if (hw > 0 && sim_threads > static_cast<std::int64_t>(hw)) {
+      std::fprintf(stderr,
+                   "warning: --threads=%lld exceeds the machine's %u "
+                   "hardware threads; the extra workers only add contention\n",
+                   static_cast<long long>(sim_threads), hw);
+    }
+    rcfg.cluster.sim_threads = static_cast<int>(sim_threads);
     rcfg.cluster.policy =
         flags.get_enum("policy", "round-robin", cluster::all_policy_names());
     // get_enum validated the arrival *kind*; the rate/factor tail still
@@ -627,6 +690,11 @@ int main(int argc, char** argv) {
                 rcfg.cluster.specs.size(), rcfg.cluster.policy.c_str(),
                 rcfg.cluster.arrival.c_str(),
                 std::string(sched::to_string(rcfg.cluster.sched.kind)).c_str());
+    if (rcfg.cluster.global_queue || rcfg.cluster.sim_threads > 1) {
+      std::printf("sim-core   %s, %d worker thread(s)\n",
+                  rcfg.cluster.global_queue ? "global" : "sharded",
+                  rcfg.cluster.sim_threads);
+    }
     if (!rcfg.cluster.power.empty()) {
       std::printf("power      spec %s, governor %s", rcfg.cluster.power.c_str(),
                   rcfg.cluster.governor.c_str());
