@@ -110,6 +110,21 @@ struct ClusterRunState {
       // idle tail; the two are one strategy, so packing arms sleep.
       dc.power.manage_sleep = cfg.cluster.policy == "energy-min";
     }
+    dc.migration.enabled = cfg.cluster.migrate;
+    if (!cfg.cluster.autoscale.empty()) {
+      std::optional<migrate::AutoscaleConfig> as =
+          migrate::parse_autoscale_spec(cfg.cluster.autoscale, &err);
+      PAGODA_CHECK_MSG(as.has_value(), "bad --autoscale spec (CLI validates "
+                                       "first; direct callers must too)");
+      dc.autoscale = std::move(*as);
+    }
+    if (!cfg.cluster.resize.empty()) {
+      std::optional<std::vector<migrate::ResizeStep>> plan =
+          migrate::parse_resize_spec(cfg.cluster.resize, &err);
+      PAGODA_CHECK_MSG(plan.has_value(), "bad --resize spec (CLI validates "
+                                         "first; direct callers must too)");
+      dc.autoscale.plan = std::move(*plan);
+    }
     return dc;
   }
 };

@@ -73,6 +73,16 @@ struct ClusterOptions {
   /// Fleet-watt budget for the powercap governor and the power-cap
   /// placement policy; 0 = uncapped.
   double power_cap_watts = 0.0;
+  /// Arms migrate-not-shed drains (checkpoint/restore of in-flight
+  /// attempts); off leaves drain_node() with its finish-in-place semantics.
+  bool migrate = false;
+  /// Autoscaler spec "UTIL[:LOW:HIGH[:MIN]]" (see
+  /// migrate::parse_autoscale_spec); "" leaves utilization scaling off.
+  /// Requires `migrate` and a power spec.
+  std::string autoscale;
+  /// Rolling-resize plan "AT_US:NODES[,...]" (see
+  /// migrate::parse_resize_spec); "" means no plan. Same requirements.
+  std::string resize;
   /// Worker threads for the sharded simulation core (--threads). 1 keeps
   /// the sequential-sharded driver, whose pop order is exactly the legacy
   /// single-queue order.

@@ -38,6 +38,9 @@ class FleetAdapter final : public power::FleetControl {
   std::int64_t node_free_slots(int node) const override {
     return d_->free_slots(node);
   }
+  std::int64_t node_capacity(int node) const override {
+    return d_->cluster().node(node).capacity();
+  }
   int queued_backlog() const override { return d_->queued_backlog(); }
   bool node_eligible(int node) const override {
     return d_->cluster().node(node).eligible();
@@ -140,6 +143,27 @@ Dispatcher::Dispatcher(Cluster& cluster,
     governor_ = std::make_unique<power::PowerGovernor>(sim(), cfg_.power,
                                                        *fleet_adapter_);
     governor_->start();
+  }
+  migrate_armed_ = cfg_.migration.enabled;
+  if (migrate_armed_) {
+    // A drain sweep revokes TaskTable entries and recalls queued waiters the
+    // instant it fires — zero lookahead against the node's own events.
+    sim().require_serial("migration plane armed");
+    migration_ = std::make_unique<migrate::MigrationManager>(cfg_.migration);
+  }
+  if (cfg_.autoscale.armed()) {
+    PAGODA_CHECK_MSG(migrate_armed_,
+                     "autoscale/resize requires the migration plane "
+                     "(--migrate): a shrink drain must migrate, not shed");
+    PAGODA_CHECK_MSG(power_armed_,
+                     "autoscale/resize requires the power plane (--power): "
+                     "parked nodes sleep in S-states");
+    PAGODA_CHECK_MSG(!cfg_.power.manage_sleep,
+                     "autoscale and energy-min sleep management are mutually "
+                     "exclusive movers of S-states: pick one");
+    autoscaler_ = std::make_unique<migrate::Autoscaler>(sim(), cfg_.autoscale,
+                                                        *fleet_adapter_);
+    autoscaler_->start();
   }
 }
 
@@ -315,6 +339,16 @@ sim::Process Dispatcher::serve(Attempt a, int node_index) {
     co_return;
   }
   if (!grant.granted) {
+    if (migrate_armed_ && node.alive() &&
+        node.health() == fault::NodeHealth::kDraining) {
+      // Recalled ungranted by a migrate-not-shed drain's kick_waiters():
+      // nothing of this attempt ever reached the node — checkpoint at the
+      // queued safe point and re-place.
+      node.abandon_outstanding(a.r.cost);
+      sim().spawn(
+          migrate_out(node_index, std::move(a), migrate::SafePoint::kQueued));
+      co_return;
+    }
     // The node died while this attempt queued: no slot was held. Re-place
     // on a healthy peer without charging the retry budget.
     if (tracer_ != nullptr) {
@@ -328,6 +362,7 @@ sim::Process Dispatcher::serve(Attempt a, int node_index) {
     co_return;
   }
   stats_.slot_acquires += 1;
+  const std::uint64_t drain_epoch0 = ns.drain_epoch;
   if (tracer_ != nullptr) tracer_->on_granted(a.uid, sim().now());
 
   if (power_armed_) {
@@ -386,6 +421,21 @@ sim::Process Dispatcher::serve(Attempt a, int node_index) {
     }
   }
 
+  if (migrate_armed_ && node.alive() &&
+      node.health() == fault::NodeHealth::kDraining &&
+      ns.drain_epoch != drain_epoch0) {
+    // A drain began while this attempt staged its input (wake-wait or H2D
+    // window): the payload is node-resident but no TaskTable entry exists
+    // yet. Checkpoint at the staged safe point instead of spawning into a
+    // draining table. The epoch guard keeps an attempt RESTORED onto a
+    // still-draining node (zero-loss fallback) from migrating forever.
+    ns.slots->release();
+    node.abandon_outstanding(a.r.cost);
+    sim().spawn(
+        migrate_out(node_index, std::move(a), migrate::SafePoint::kStaged));
+    co_return;
+  }
+
   const runtime::TaskHandle h = co_await node.rt().task_spawn(a.r.params);
   ns.spawn_epoch += 1;
   ns.activity->notify_all();
@@ -408,6 +458,7 @@ sim::Process Dispatcher::serve(Attempt a, int node_index) {
   PAGODA_CHECK_MSG(!rec.active, "TaskTable entry reused while tracked");
   rec.active = true;
   rec.uid = a.uid;
+  rec.handle = h;
   if (cfg_.task_timeout > 0) {
     rec.deadline =
         sim().after(cfg_.task_timeout, [this, node_index, idx, uid = a.uid] {
@@ -416,6 +467,13 @@ sim::Process Dispatcher::serve(Attempt a, int node_index) {
   }
   rec.att = std::move(a);
   ns.tracked += 1;
+  if (migrate_armed_ && node.alive() &&
+      node.health() == fault::NodeHealth::kDraining &&
+      ns.drain_epoch != drain_epoch0) {
+    // The drain sweep ran while task_spawn was in flight and never saw this
+    // record; revoke it the same way the sweep would have.
+    sim().spawn(migrate_revoke(node_index, idx, rec.uid));
+  }
 }
 
 void Dispatcher::on_task_complete(int node_index, runtime::TaskId id) {
@@ -703,6 +761,135 @@ void Dispatcher::drain_node(int node_index) {
   if (node.health() == fault::NodeHealth::kDead) return;
   node.set_health(fault::NodeHealth::kDraining);
   fault_event("drain_node");
+  if (!migrate_armed_) return;
+  // Migrate-not-shed: walk the node's safe points instead of waiting its
+  // in-flight work out.
+  NodeState& ns = node_state_[static_cast<std::size_t>(node_index)];
+  ns.drain_epoch += 1;
+  // Queued attempts: wake every parked slot waiter ungranted while the
+  // queue stays open (completions still release into it). serve() routes
+  // the woken attempts to a kQueued checkpoint.
+  ns.slots->kick_waiters();
+  // Spawned-but-unclaimed attempts: race the scheduler warps host-side.
+  // Claimed/executing tasks lose the race deterministically and run to
+  // completion on this node — they are never checkpointed.
+  for (std::size_t idx = 0; idx < ns.records.size(); ++idx) {
+    if (!ns.records[idx].active) continue;
+    sim().spawn(migrate_revoke(node_index, idx, ns.records[idx].uid));
+  }
+}
+
+sim::Process Dispatcher::migrate_revoke(int node_index, std::size_t idx,
+                                        std::uint64_t uid) {
+  GpuNode& node = cluster_->node(node_index);
+  NodeState& ns = node_state_[static_cast<std::size_t>(node_index)];
+  if (!ns.records[idx].active || ns.records[idx].uid != uid) co_return;
+  const runtime::TaskHandle h = ns.records[idx].handle;
+  const bool won = co_await node.rt().try_revoke(h);
+  if (!won) {
+    stats_.migrate_declined += 1;
+    migration_->record_declined();
+    co_return;
+  }
+  // Re-validate after the await: the death sweep may have redispatched the
+  // attempt (and released its slot) while the revoke was on the wire — the
+  // GPU entry is then an orphan the revoke harmlessly freed.
+  NodeState::Record& rec = ns.records[idx];
+  if (!rec.active || rec.uid != uid) co_return;
+  if (rec.deadline != 0) sim().cancel(rec.deadline);
+  Attempt a = std::move(rec.att);
+  ns.records[idx] = NodeState::Record{};
+  ns.tracked -= 1;
+  ns.slots->release();
+  node.abandon_outstanding(a.r.cost);
+  sim().spawn(migrate_out(node_index, std::move(a),
+                          migrate::SafePoint::kTableParked));
+}
+
+sim::Process Dispatcher::migrate_out(int source_node, Attempt a,
+                                     migrate::SafePoint p) {
+  const sim::Time now = sim().now();
+  if (tracer_ != nullptr) tracer_->on_migrated(a.uid, now);
+  fault_event("migrate");
+
+  migrate::TaskCheckpoint cp;
+  cp.uid = a.uid;
+  cp.arrival = a.arrival;
+  cp.attempt = a.attempt;
+  cp.cls = a.r.cls;
+  cp.slo = a.r.slo;
+  cp.cost = a.r.cost;
+  cp.h2d_bytes = a.r.h2d_bytes;
+  cp.d2h_bytes = a.r.d2h_bytes;
+  cp.data_key = a.r.data_key;
+  cp.index = a.r.index;
+  cp.params = a.r.params;
+  cp.point = p;
+  cp.source_node = source_node;
+
+  // Serialize, then restore from the IMAGE — the byte format is
+  // load-bearing, not decorative: a field the serializer drops would show
+  // up as a corrupted restored request, not as silent luck.
+  const std::vector<std::byte> image = migrate::serialize(cp);
+  migrate::TaskCheckpoint restored;
+  PAGODA_CHECK_MSG(migrate::deserialize(image, &restored),
+                   "checkpoint image failed to round-trip");
+  migration_->record_checkpoint(restored, image);
+
+  // Pull the node-resident state (staged payload, revoked descriptor) back
+  // over the source's D2H link: real wire time, charged to the request as
+  // the migrate_xfer phase. A kQueued capture moved nothing onto the node,
+  // so nothing rides the wire and the phase covers re-placement only.
+  const std::int64_t wire = migrate::transfer_bytes(restored);
+  if (wire > 0) {
+    co_await sim().delay(cfg_.host.memcpy_setup);
+    auto trig = std::make_shared<sim::Trigger>(sim());
+    cluster_->node(source_node)
+        .d2h_stream()
+        .memcpy_async(pcie::Direction::DeviceToHost, nullptr, nullptr,
+                      static_cast<std::size_t>(wire), [trig] { trig->fire(); });
+    co_await trig->wait();
+  }
+
+  // Rebuild the attempt from the restored image; only the kernel pointer is
+  // process-local and re-bound from the captured attempt (a real system
+  // ships a symbol id).
+  const gpu::KernelFn fn = a.r.params.fn;
+  a.uid = restored.uid;
+  a.arrival = restored.arrival;
+  a.attempt = restored.attempt;
+  a.r.cls = restored.cls;
+  a.r.slo = restored.slo;
+  a.r.cost = restored.cost;
+  a.r.h2d_bytes = restored.h2d_bytes;
+  a.r.d2h_bytes = restored.d2h_bytes;
+  a.r.data_key = restored.data_key;
+  a.r.index = restored.index;
+  a.r.params = restored.params;
+  a.r.params.fn = fn;
+  restore_attempt(std::move(a), source_node);
+}
+
+void Dispatcher::restore_attempt(Attempt a, int source_node) {
+  int node_index = policy_->pick(*cluster_, a.r);
+  if (node_index < 0) {
+    if (cluster_->node(source_node).alive()) {
+      // No eligible peer, but the drain source still serves its in-flight
+      // work: finish in place rather than shed. Zero-loss is the contract —
+      // a drain is administrative, the request did nothing wrong.
+      node_index = source_node;
+    } else {
+      // The source died too: genuine capacity loss, resolved as a shed so
+      // the exactly-once ledger still balances.
+      shed_request(std::move(a), fault::FailureCause::kNodeCrash);
+      return;
+    }
+  }
+  stats_.migrated += 1;
+  migration_->record_restore();
+  cluster_->node(node_index).add_outstanding(a.r.cost);
+  backlog_ += 1;
+  sim().spawn(serve(std::move(a), node_index));
 }
 
 void Dispatcher::reinstate_node(int node_index) {
@@ -879,6 +1066,33 @@ void Dispatcher::export_metrics(obs::MetricsRegistry& m) const {
           .set(static_cast<std::int64_t>(gs.nodes_slept));
       m.counter("power.governor.nodes_woken")
           .set(static_cast<std::int64_t>(gs.nodes_woken));
+    }
+  }
+  if (migrate_armed_) {
+    const migrate::MigrationManager::Stats& ms = migration_->stats();
+    m.counter("migrate.checkpoints").set(ms.checkpoints);
+    m.counter("migrate.checkpoints.queued").set(ms.queued);
+    m.counter("migrate.checkpoints.staged").set(ms.staged);
+    m.counter("migrate.checkpoints.table_parked").set(ms.table_parked);
+    m.counter("migrate.restores").set(ms.restores);
+    m.counter("migrate.declined").set(ms.declined);
+    m.counter("migrate.xfer_bytes").set(ms.xfer_bytes);
+    m.counter("migrate.image_bytes").set(ms.image_bytes);
+    m.counter("migrate.migrated").set(stats_.migrated);
+    if (autoscaler_ != nullptr) {
+      const migrate::Autoscaler::Stats& as = autoscaler_->stats();
+      m.counter("migrate.autoscale.checks")
+          .set(static_cast<std::int64_t>(as.checks));
+      m.counter("migrate.autoscale.nodes_slept")
+          .set(static_cast<std::int64_t>(as.nodes_slept));
+      m.counter("migrate.autoscale.nodes_woken")
+          .set(static_cast<std::int64_t>(as.nodes_woken));
+      m.counter("migrate.autoscale.drains_started")
+          .set(static_cast<std::int64_t>(as.drains_started));
+      m.counter("migrate.autoscale.drains_cancelled")
+          .set(static_cast<std::int64_t>(as.drains_cancelled));
+      m.counter("migrate.autoscale.resize_events")
+          .set(static_cast<std::int64_t>(as.resize_events));
     }
   }
 }

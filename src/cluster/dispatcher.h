@@ -78,6 +78,8 @@
 #include "fault/plan.h"
 #include "fault/retry.h"
 #include "fault/watchdog.h"
+#include "migrate/autoscaler.h"
+#include "migrate/migrate.h"
 #include "power/governor.h"
 #include "sched/policy.h"
 #include "sched/ready_queue.h"
@@ -129,6 +131,19 @@ struct DispatcherConfig {
   /// default (no spec) nothing is constructed and every existing output
   /// stays byte-identical.
   power::PlaneConfig power{};
+
+  // --- migration plane (off by default; see migrate/migrate.h) -------------
+  /// Enabled, drain_node() becomes migrate-not-shed: eligible in-flight
+  /// attempts are checkpointed at their safe point, charged over the source
+  /// node's link as the migrate_xfer trace phase, and re-placed as the SAME
+  /// request (uid, arrival, attempt preserved — the exactly-once ledger and
+  /// the per-class slices never notice the move).
+  migrate::MigrationConfig migration{};
+  /// Elastic fleet resizing (utilization-driven and/or an explicit resize
+  /// plan). armed() requires BOTH the migration plane (shrink drains must
+  /// not shed) and the power plane (parked nodes sleep in S-states), and is
+  /// mutually exclusive with power.manage_sleep — one mover of S-states.
+  migrate::AutoscaleConfig autoscale{};
 };
 
 class Dispatcher {
@@ -167,6 +182,13 @@ class Dispatcher {
     /// Requests that waited on an S-state -> active wake-up transition
     /// (their wait lands in the power.wakeup trace phase).
     std::int64_t power_wakeup_waits = 0;
+    // --- migration plane --------------------------------------------------
+    /// Attempts checkpointed off a draining node and restored into dispatch
+    /// as the same request (no budget charge, no new uid).
+    std::int64_t migrated = 0;
+    /// Revoke raced a scheduler-warp claim and lost; the attempt ran to
+    /// completion on the draining node instead.
+    std::int64_t migrate_declined = 0;
   };
 
   /// Per-class slice of the ledger. The same exactly-once invariant holds
@@ -247,6 +269,14 @@ class Dispatcher {
   const power::PowerGovernor* governor() const { return governor_.get(); }
   bool power_armed() const { return power_armed_; }
 
+  /// The migration plane, when armed (nullptr otherwise).
+  const migrate::MigrationManager* migration() const {
+    return migration_.get();
+  }
+  bool migrate_armed() const { return migrate_armed_; }
+  /// The autoscaler, when armed (nullptr otherwise).
+  const migrate::Autoscaler* autoscaler() const { return autoscaler_.get(); }
+
   /// Instantaneous fleet power draw (0 when the power plane is off).
   double fleet_watts() const;
 
@@ -300,6 +330,9 @@ class Dispatcher {
       bool active = false;
       std::uint64_t uid = 0;
       sim::EventId deadline = 0;  // 0 = none armed
+      /// The spawned task's handle, kept so a migrate-not-shed drain can
+      /// try_revoke the entry before a scheduler warp claims it.
+      runtime::TaskHandle handle{};
       Attempt att;
     };
     std::vector<Record> records;
@@ -313,6 +346,12 @@ class Dispatcher {
     /// Spawn activity signal for the node's flusher (see flush_timer()).
     std::uint64_t spawn_epoch = 0;
     std::unique_ptr<sim::Condition> activity;
+    /// Bumped by every migrate-not-shed drain of this node. serve()
+    /// snapshots it at slot grant: a mismatch later means a drain began
+    /// while the attempt was mid-flight (staging, spawning) and it must
+    /// checkpoint itself — while an attempt RESTORED onto a still-draining
+    /// node (the zero-loss fallback) sees equal epochs and runs in place.
+    std::uint64_t drain_epoch = 0;
   };
 
   /// A wedged attempt: its TaskTable entry completed GPU-side but the
@@ -369,6 +408,23 @@ class Dispatcher {
   void shed_request(Attempt a, fault::FailureCause cause);
   void finalize(int node_index, Attempt att);
 
+  // --- migration plane ----------------------------------------------------
+  /// Revokes one tracked record off a draining node: awaits the runtime's
+  /// try_revoke race and, on a win, unwinds the record and checkpoints the
+  /// attempt at the table-parked safe point. Re-validates the record around
+  /// the await — completion, death sweep or timeout may resolve it first.
+  sim::Process migrate_revoke(int node_index, std::size_t idx,
+                              std::uint64_t uid);
+  /// Checkpoints one captured attempt, charges its node-resident state over
+  /// the source's D2H link (the migrate_xfer trace phase), round-trips the
+  /// byte image (the image is load-bearing: restore reads IT, not the live
+  /// attempt), and re-enters dispatch.
+  sim::Process migrate_out(int source_node, Attempt a, migrate::SafePoint p);
+  /// Re-places a restored attempt. Falls back to the still-serving source
+  /// node when no peer is eligible (zero-loss: a drain must not shed), and
+  /// sheds only when the source itself is gone (true capacity loss).
+  void restore_attempt(Attempt a, int source_node);
+
   void inject_crash(const fault::CrashEvent& ev);
   void node_failed(int node_index);
   void recover_node(int node_index);
@@ -386,6 +442,7 @@ class Dispatcher {
   bool fault_armed_ = false;
   bool qos_ = false;  // sched.* export + per-class timeline armed
   bool power_armed_ = false;  // power.* export + governor running
+  bool migrate_armed_ = false;  // migrate-not-shed drains + migrate.* export
   sched::Policy sched_policy_;
   std::uint64_t sched_seq_ = 0;  // global admission sequence (ties)
   std::vector<NodeState> node_state_;
@@ -417,6 +474,8 @@ class Dispatcher {
   /// The governor's window onto this dispatcher (power plane only).
   std::unique_ptr<power::FleetControl> fleet_adapter_;
   std::unique_ptr<power::PowerGovernor> governor_;
+  std::unique_ptr<migrate::MigrationManager> migration_;
+  std::unique_ptr<migrate::Autoscaler> autoscaler_;
 };
 
 }  // namespace pagoda::cluster

@@ -129,6 +129,13 @@ void RequestTracer::on_redispatch(std::uint64_t uid) {
   l->next = Phase::kQueueWait;
 }
 
+void RequestTracer::on_migrated(std::uint64_t uid, sim::Time now) {
+  Live* l = find(uid);
+  if (l == nullptr) return;
+  mark(*l, l->next, now);
+  l->next = Phase::kMigrateXfer;
+}
+
 void RequestTracer::on_terminal(std::uint64_t uid, Terminal t,
                                 std::string_view cause, sim::Time now,
                                 bool slo_late) {

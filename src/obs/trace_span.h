@@ -55,8 +55,9 @@ enum class Phase : std::uint8_t {
   kD2h,              // output drain
   kRetryBackoff,     // deterministic backoff before a budget-charged retry
   kPowerWakeup,      // node was asleep at grant time: S-state wake latency
+  kMigrateXfer,      // drain-migration: checkpoint transfer + re-placement
 };
-inline constexpr int kNumPhases = 10;
+inline constexpr int kNumPhases = 11;
 
 constexpr std::string_view to_string(Phase p) {
   switch (p) {
@@ -70,6 +71,7 @@ constexpr std::string_view to_string(Phase p) {
     case Phase::kD2h: return "d2h";
     case Phase::kRetryBackoff: return "retry_backoff";
     case Phase::kPowerWakeup: return "power_wakeup";
+    case Phase::kMigrateXfer: return "migrate_xfer";
   }
   return "?";
 }
@@ -159,6 +161,12 @@ class RequestTracer {
   void on_retry(std::uint64_t uid);
   /// The next interval is a budget-free re-placement queue wait.
   void on_redispatch(std::uint64_t uid);
+  /// The attempt is being migrated off a draining node: charges the
+  /// in-progress phase up to `now`, then attributes everything until the
+  /// next hop's on_serve (checkpoint transfer + re-placement) to
+  /// migrate_xfer. The tiling invariant is untouched — migration inserts a
+  /// phase interval, never a gap.
+  void on_migrated(std::uint64_t uid, sim::Time now);
   /// Exactly-once resolution; moves the record to the terminal set and
   /// checks the bucket-sum invariant.
   void on_terminal(std::uint64_t uid, Terminal t, std::string_view cause,

@@ -259,6 +259,59 @@ sim::Task<std::size_t> Runtime::wait_any(std::vector<TaskHandle> handles) {
   }
 }
 
+sim::Task<bool> Runtime::try_revoke(TaskHandle h) {
+  PAGODA_CHECK_MSG(h.owner == uid_,
+                   "TaskHandle presented to a Runtime that did not issue it");
+  PAGODA_CHECK(cpu_table_.valid_id(h.id));
+  co_await spawn_lock_.acquire();
+  const std::size_t idx = static_cast<std::size_t>(h.id - kFirstTaskId);
+  if (generation_[idx] != h.generation ||
+      cpu_table_.by_id(h.id).ready == kReadyFree) {
+    // Recycled or already observed finished: nothing left to revoke.
+    stats_.revoke_declines += 1;
+    spawn_lock_.release();
+    co_return false;
+  }
+  // The revoke rides the table stream like a spawn copy: one entry-sized
+  // H2D transaction whose landing instant is where the decision is taken.
+  // A scratch entry (not the live GPU slot) carries the write so a lost
+  // race never clobbers a claimed task's descriptor.
+  co_await sim().delay(hc_.memcpy_setup);
+  const TaskId id = h.id;
+  auto scratch = std::make_shared<TaskEntry>();
+  auto won = std::make_shared<bool>(false);
+  auto trig = std::make_shared<sim::Trigger>(sim());
+  table_stream_.memcpy_async(
+      pcie::Direction::HostToDevice, scratch.get(), scratch.get(),
+      kEntryCopyBytes, [this, id, won, trig] {
+        TaskEntry& ge = gpu_table_.by_id(id);
+        const bool released_unclaimed =
+            ge.ready == kReadyScheduling && ge.sched == 1;
+        const bool parked_last = ge.ready == kReadyParamsCopied &&
+                                 ge.sched == 0 && last_spawned_.has_value() &&
+                                 *last_spawned_ == id;
+        if (released_unclaimed || parked_last) {
+          ge.ready = kReadyFree;
+          ge.sched = 0;
+          if (parked_last) last_spawned_.reset();
+          *won = true;
+        }
+        trig->fire();
+      });
+  stats_.entry_copies += 1;
+  co_await trig->wait();
+  if (*won) {
+    cpu_table_.by_id(h.id).ready = kReadyFree;
+    generation_[idx] += 1;  // the revoked handle must report done, not alias
+    stats_.revokes += 1;
+    trace(TraceKind::kRevoked, h.id);
+  } else {
+    stats_.revoke_declines += 1;
+  }
+  spawn_lock_.release();
+  co_return *won;
+}
+
 sim::Task<> Runtime::wait_all() {
   while (true) {
     co_await spawn_lock_.acquire();

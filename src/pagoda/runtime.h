@@ -60,6 +60,8 @@ class Runtime {
     std::int64_t aggregate_copybacks = 0;
     std::int64_t single_copybacks = 0;
     std::int64_t flushes = 0;
+    std::int64_t revokes = 0;          // try_revoke won the race
+    std::int64_t revoke_declines = 0;  // task claimed/chained/finished first
   };
 
   Runtime(gpu::Device& dev, host::HostCosts host_costs = {},
@@ -93,6 +95,23 @@ class Runtime {
   /// given tasks has finished; returns the index of a finished handle.
   /// Useful for work-stealing host loops over heterogeneous task groups.
   sim::Task<std::size_t> wait_any(std::vector<TaskHandle> handles);
+
+  /// Extension for live migration: attempts to pull a spawned task back off
+  /// the GPU before any scheduler warp claims it. Issues ONE entry-sized H2D
+  /// transaction on the table stream; stream ordering guarantees that by its
+  /// landing instant every earlier spawn copy (this entry's own, and any
+  /// successor's release pointer) has landed, so the GPU-side state examined
+  /// there is current. The entry is freed — true — only when it is
+  ///   (ready==1, sched==1)  released but unclaimed (its predecessor-release
+  ///                         pointer, if any, was already consumed), or
+  ///   (ready==-1, sched==0) parameters landed, not yet released, AND it is
+  ///                         still last_spawned_ (no successor names it; the
+  ///                         host forgets it so a flush cannot resurrect it).
+  /// Every other state declines — false — and the task runs to completion:
+  /// claimed entries are executing, a ready>1 entry anchors a pending
+  /// release chain, and a free entry already finished. A successful revoke
+  /// bumps the entry's generation, so the original handle reports done.
+  sim::Task<bool> try_revoke(TaskHandle h);
 
   const Stats& stats() const { return stats_; }
   const MasterKernel& master_kernel() const { return mk_; }

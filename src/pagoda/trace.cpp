@@ -15,6 +15,7 @@ std::string_view trace_kind_name(TraceKind kind) {
     case TraceKind::kCompleted: return "completed";
     case TraceKind::kCopyBack: return "copy_back";
     case TraceKind::kFlushed: return "flushed";
+    case TraceKind::kRevoked: return "revoked";
   }
   return "?";
 }

@@ -30,6 +30,7 @@ enum class TraceKind : std::uint8_t {
   kCompleted,     // last warp cleared the ready field
   kCopyBack,      // host copy-back observed the entry free
   kFlushed,       // host flush released the last task
+  kRevoked,       // host revoked a spawned-but-unclaimed entry (migration)
 };
 
 std::string_view trace_kind_name(TraceKind kind);

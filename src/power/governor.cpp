@@ -187,6 +187,26 @@ void PowerGovernor::check_sleep(sim::Time now) {
   }
 }
 
+void sleep_drained_node(FleetControl& fleet, int node, int s_state) {
+  NodePower* np = fleet.node_power(node);
+  PAGODA_CHECK_MSG(np != nullptr, "sleep verb on a node without a power model");
+  PAGODA_CHECK_MSG(fleet.node_outstanding(node) == 0,
+                   "sleep verb on a node still holding work: drain it first");
+  np->enter_sleep(s_state);
+}
+
+void wake_node(FleetControl& fleet, int node) {
+  NodePower* np = fleet.node_power(node);
+  PAGODA_CHECK_MSG(np != nullptr, "wake verb on a node without a power model");
+  np->begin_wake();
+  fleet.restore_node(node);
+}
+
+bool node_asleep(FleetControl& fleet, int node) {
+  const NodePower* np = fleet.node_power(node);
+  return np != nullptr && np->asleep();
+}
+
 double PowerGovernor::fleet_watts(sim::Time now) const {
   double w = 0.0;
   for (int i = 0; i < fleet_->num_nodes(); ++i) {

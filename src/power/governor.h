@@ -1,8 +1,10 @@
 // PowerGovernor: the deterministic fleet power control loop, in the spirit
 // of cloudsim_eec's Scheduler (PeriodicCheck + SLAWarning hooks).
 //
-// The governor is the ONLY mover of P/C/S states (tools/check.sh greps the
-// rest of the tree for the mutator names). It observes the fleet through the
+// src/power is the ONLY mover of P/C/S states (tools/check.sh greps the
+// rest of the tree for the mutator names): the governor moves them directly,
+// and external fleet orchestrators (the migrate autoscaler) go through the
+// sleep_drained_node/wake_node verbs below. It observes the fleet through the
 // FleetControl interface — implemented by the cluster dispatcher — so this
 // library depends on sim/gpu only, never on src/cluster.
 //
@@ -77,6 +79,9 @@ class FleetControl {
   virtual NodePower* node_power(int node) = 0;
   virtual int node_outstanding(int node) const = 0;
   virtual std::int64_t node_free_slots(int node) const = 0;
+  /// Total slot capacity of the node (free + held); the autoscaler's
+  /// utilization denominator.
+  virtual std::int64_t node_capacity(int node) const = 0;
   /// Admitted requests still waiting for a node slot.
   virtual int queued_backlog() const = 0;
   /// Whether placement may target the node (healthy, not draining/dead).
@@ -86,6 +91,18 @@ class FleetControl {
   virtual void quiesce_node(int node) = 0;
   virtual void restore_node(int node) = 0;
 };
+
+/// S-state verbs for fleet orchestrators hosted outside src/power (the
+/// migrate autoscaler): tools/check.sh pins every NodePower mutator name to
+/// this directory, so the verbs live here, as thin as the governor's own
+/// sleep path. Sleeping assumes the caller already drained the node (it
+/// aborts otherwise); waking restores the node into placement and lets its
+/// residual wake-up latency land on waiting requests as the power_wakeup
+/// trace phase.
+void sleep_drained_node(FleetControl& fleet, int node, int s_state);
+void wake_node(FleetControl& fleet, int node);
+/// Whether the node is in an S-state (false when it has no power model).
+bool node_asleep(FleetControl& fleet, int node);
 
 class PowerGovernor {
  public:

@@ -92,6 +92,18 @@ class ReadyQueue {
   void reopen() { closed_ = false; }
   bool closed() const { return closed_; }
 
+  /// Wakes every parked acquirer ungranted (arrival order, like close())
+  /// WITHOUT closing the queue: later acquires still succeed. The
+  /// migrate-not-shed drain uses this to recall queued attempts — the woken
+  /// callers see granted=false, evicted=false and checkpoint themselves
+  /// while the queue stays open for the drain's own completions to release
+  /// into.
+  void kick_waiters() {
+    std::deque<Waiter> woken;
+    woken.swap(waiters_);
+    for (const Waiter& w : woken) sim_->defer_resume(w.handle);
+  }
+
   std::int64_t available() const { return count_; }
   std::size_t waiting() const { return waiters_.size(); }
 

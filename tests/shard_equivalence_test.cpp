@@ -6,8 +6,10 @@
 //   * sharded/N  — per-node shards drained by an N-thread worker pool.
 // The full --metrics JSON (and, on alternating seeds, the --trace-spans
 // dump) must be byte-identical across all three. Seeds rotate through a
-// plain run, a fault-plan run and a power-plane run so the serialize
-// fallbacks (require_serial) are pinned alongside the true parallel path.
+// plain run, a fault-plan run, a power-plane run and a migration run (a
+// rolling resize checkpointing in-flight attempts across nodes) so the
+// serialize fallbacks (require_serial) are pinned alongside the true
+// parallel path.
 #include <gtest/gtest.h>
 
 #include <sstream>
@@ -23,7 +25,8 @@ namespace {
 constexpr int kSeeds = 50;
 constexpr int kWorkerThreads = 3;
 
-enum class Plane { kPlain, kFaults, kPower };
+enum class Plane { kPlain, kFaults, kPower, kMigrate };
+constexpr int kNumPlanes = 4;
 
 struct Dump {
   std::string metrics;
@@ -55,6 +58,19 @@ Dump run_once(std::uint64_t seed, Plane plane, bool want_spans,
   } else if (plane == Plane::kPower) {
     rcfg.cluster.power = "default";
     rcfg.cluster.governor = "dvfs";
+  } else if (plane == Plane::kMigrate) {
+    // A rolling resize over the arrival window: the shrink drains two nodes
+    // whose in-flight attempts checkpoint and restore cross-node, then the
+    // grow wakes them — migration traffic in every run of the triplet. The
+    // stream oversubscribes shallow TaskTables so the drains catch work at
+    // every safe point (slot-queue waiters, staged copies, parked entries).
+    wcfg.num_tasks = 192;
+    wcfg.threads_per_task = 256;
+    rcfg.pagoda.rows_per_column = 4;
+    rcfg.cluster.arrival = "poisson:2000000";
+    rcfg.cluster.power = "default";
+    rcfg.cluster.migrate = true;
+    rcfg.cluster.resize = "100:1,1200:3";
   }
 
   obs::CollectorConfig ccfg;
@@ -81,7 +97,7 @@ Dump run_once(std::uint64_t seed, Plane plane, bool want_spans,
 TEST(ShardEquivalenceSoak, FiftySeedsTriModal) {
   for (int i = 0; i < kSeeds; ++i) {
     const std::uint64_t seed = 0x9A60DAULL + static_cast<std::uint64_t>(i);
-    const Plane plane = static_cast<Plane>(i % 3);
+    const Plane plane = static_cast<Plane>(i % kNumPlanes);
     // Odd seeds dump spans too. Spans pin the serialize fallback; even
     // seeds without spans let the N-thread run exercise real parallel
     // windows, pinning the window merge against the sequential order.

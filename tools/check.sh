@@ -253,6 +253,56 @@ power_smoke() {
       --governor=bogus 2>&1 || true) | grep -q "list-policies"
 }
 
+migrate_smoke() {
+  local dir="$1"
+  echo "==> migrate smoke ${dir}"
+  # Migrate-not-shed + autoscaler end-to-end: the utilization resizer must
+  # sleep the surplus, checkpoint whatever the drains catch, and the
+  # migrate.* ledger must export.
+  local out
+  out=$("${dir}/tools/pagoda_cli" --workload=MM --tasks=2048 --gpus=4 \
+      --policy=least-outstanding --arrival=poisson:150000 --slo-us=5000 \
+      --migrate --power=default --autoscale=0.6 --metrics)
+  grep -q "migrate.checkpoints" <<<"${out}"
+  grep -q "migrate.autoscale.nodes_slept" <<<"${out}"
+  # An explicit rolling-resize plan must fire both steps.
+  out=$("${dir}/tools/pagoda_cli" --workload=MM --tasks=2048 --gpus=4 \
+      --policy=least-outstanding --arrival=poisson:150000 --slo-us=5000 \
+      --migrate --power=default --resize=4000:2,9000:4 --metrics)
+  grep -qE "migrate\.autoscale\.resize_events +2" <<<"${out}"
+  # Strict validation: the elastic flags need their prerequisite planes.
+  if "${dir}/tools/pagoda_cli" --workload=MM --gpus=2 --autoscale=0.6 \
+      >/dev/null 2>&1; then
+    echo "error: --autoscale without --migrate unexpectedly accepted" >&2
+    exit 1
+  fi
+  ("${dir}/tools/pagoda_cli" --workload=MM --gpus=2 --autoscale=0.6 2>&1 || true) |
+    grep -q -- "--migrate"
+  if "${dir}/tools/pagoda_cli" --workload=MM --gpus=2 --migrate \
+      --autoscale=0.6 >/dev/null 2>&1; then
+    echo "error: --autoscale without --power unexpectedly accepted" >&2
+    exit 1
+  fi
+  if "${dir}/tools/pagoda_cli" --workload=MM --gpus=2 --migrate \
+      --power=default --autoscale=1.5 >/dev/null 2>&1; then
+    echo "error: bad --autoscale spec unexpectedly accepted" >&2
+    exit 1
+  fi
+  if "${dir}/tools/pagoda_cli" --workload=MM --gpus=2 --migrate \
+      --power=default --resize=9000:2,4000:4 >/dev/null 2>&1; then
+    echo "error: non-increasing --resize plan unexpectedly accepted" >&2
+    exit 1
+  fi
+  if "${dir}/tools/pagoda_cli" --workload=MM --gpus=2 --migrate \
+      --power=default --policy=energy-min --autoscale=0.6 \
+      >/dev/null 2>&1; then
+    echo "error: --autoscale with energy-min unexpectedly accepted" >&2
+    exit 1
+  fi
+  # The elastic flags are part of the --list-policies catalog.
+  ("${dir}/tools/pagoda_cli" --list-policies) | grep -q -- "--autoscale=SPEC"
+}
+
 power_grep_clean() {
   # Only src/power (the governor included) may move P/C/S states: the
   # mutator verbs must not appear anywhere else in the production tree.
@@ -398,6 +448,7 @@ fault_smoke build-release
 qos_smoke build-release
 trace_smoke build-release
 power_smoke build-release
+migrate_smoke build-release
 fleet_smoke build-release
 engine_grep_clean
 fault_grep_clean
@@ -448,6 +499,16 @@ build-release/bench/energy_pareto --out=/tmp/pagoda_power_b.json >/dev/null
 cmp /tmp/pagoda_power_a.json /tmp/pagoda_power_b.json
 rm -f /tmp/pagoda_power_a.json /tmp/pagoda_power_b.json
 
+echo "==> bench determinism + elastic-fleet gate (elastic_fleet)"
+# The bench CHECKs the rolling resize loses nothing (shed == dropped == 0,
+# exactly-once ledger, >= 99% availability) and the autoscaled diurnal day
+# spends >= 1.15x fewer joules/request than the static full fleet at equal
+# per-class goodput; two runs must be byte-identical.
+build-release/bench/elastic_fleet --out=/tmp/pagoda_migrate_a.json >/dev/null
+build-release/bench/elastic_fleet --out=/tmp/pagoda_migrate_b.json >/dev/null
+cmp /tmp/pagoda_migrate_a.json /tmp/pagoda_migrate_b.json
+rm -f /tmp/pagoda_migrate_a.json /tmp/pagoda_migrate_b.json
+
 echo "==> power wake-up attribution gate (trace_report --explain-slo)"
 # Diurnal traffic on an energy-min fleet: the peak after a trough wakes a
 # sleeping node, and the S-state wake latency must surface as the dominant
@@ -470,6 +531,7 @@ if [[ "${1:-}" != "--fast" ]]; then
   qos_smoke build-asan
   trace_smoke build-asan
   power_smoke build-asan
+  migrate_smoke build-asan
   echo "==> qos_isolation determinism under sanitizers"
   build-asan/bench/qos_isolation --tasks=512 --seeds=2 \
       --out=/tmp/pagoda_sched_a.json >/dev/null
@@ -485,14 +547,21 @@ if [[ "${1:-}" != "--fast" ]]; then
   echo "==> configure build-tsan (-DPAGODA_SANITIZE=thread)"
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DPAGODA_SANITIZE=thread >/dev/null
-  echo "==> build build-tsan (pagoda_cli, fleet_scale, shard_test)"
+  echo "==> build build-tsan (pagoda_cli, fleet_scale, shard_test," \
+       "migrate_test)"
   cmake --build build-tsan -j "${JOBS}" \
-      --target pagoda_cli fleet_scale shard_test
+      --target pagoda_cli fleet_scale shard_test migrate_test
   echo "==> TSan: shard coordinator unit tests"
   build-tsan/tests/shard_test
+  echo "==> TSan: migration plane (checkpoint/restore, autoscaler)"
+  build-tsan/tests/migrate_test
   echo "==> TSan: threaded cluster + fleet smoke"
   build-tsan/tools/pagoda_cli --workload=MM --tasks=256 --gpus=8 \
       --arrival=poisson:1000000 --threads=4 --metrics >/dev/null
+  # Migration arms require_serial, so a threaded run must still be exact.
+  build-tsan/tools/pagoda_cli --workload=MM --tasks=256 --gpus=8 \
+      --arrival=poisson:1000000 --threads=4 --migrate --power=default \
+      --autoscale=0.6 --metrics >/dev/null
   build-tsan/bench/fleet_scale --tasks-per-node=8 --threads=4 \
       --out=/tmp/pagoda_fleet_tsan.json >/dev/null
   rm -f /tmp/pagoda_fleet_tsan.json

@@ -43,6 +43,7 @@
 #include "harness/calibration.h"
 #include "harness/experiment.h"
 #include "harness/flags.h"
+#include "migrate/autoscaler.h"
 #include "obs/collector.h"
 #include "pagoda/trace.h"
 #include "power/governor.h"
@@ -84,6 +85,11 @@ int list_options() {
       "            analyze with tools/trace_report)\n"
       "power:     --power=SPEC --governor=NAME --power-cap-watts=X\n"
       "           --list-policies   (placement/sched/governor catalog)\n"
+      "elastic:   --migrate   (checkpoint/restore drains instead of "
+      "shedding)\n"
+      "           --autoscale=UTIL[:LOW:HIGH[:MIN]] (needs --migrate "
+      "--power)\n"
+      "           --resize=AT_US:NODES[,...]        (rolling-resize plan)\n"
       "faults:    comma list of task:P | xfer:P | wedge:P |\n"
       "           crash:NODE:T_US[:RECOVER_US] |\n"
       "           degrade:T_US:DUR_US:FACTOR[:NODE] | seed:N\n");
@@ -144,6 +150,18 @@ int list_policies() {
   }
   std::printf("\npower spec (--power): %s\n",
               power::PowerSpec::grammar());
+  std::printf("\nelastic fleet (--migrate, --autoscale, --resize, needs "
+              "--power):\n");
+  std::printf("  %-18s %s\n", "--migrate",
+              "drains checkpoint in-flight attempts and restore them "
+              "on another node (migrate, not shed)");
+  std::printf("  %-18s %s\n", "--autoscale=SPEC",
+              "target-utilization resizer: UTIL[:LOW:HIGH[:MIN]] with "
+              "hysteresis watermarks; sleeps the tail at troughs, wakes "
+              "it at peaks");
+  std::printf("  %-18s %s\n", "--resize=PLAN",
+              "explicit rolling resize AT_US:NODES[,...]; each shrink "
+              "drains, migrates, then S-sleeps one node at a time");
   std::printf(
       "\nsimulation core (--sim-core, --threads, Cluster runtime only):\n");
   std::printf("  %-18s %s\n", "sharded",
@@ -285,7 +303,7 @@ int main(int argc, char** argv) {
        "metrics", "metrics-period", "profile", "gpus", "policy", "arrival",
        "slo-us", "queue-limit", "faults", "retry-budget", "task-timeout-us",
        "sched-policy", "class", "weights", "trace-spans", "power", "governor",
-       "power-cap-watts", "sim-core"});
+       "power-cap-watts", "sim-core", "migrate", "autoscale", "resize"});
   if (!bad.empty()) {
     std::fprintf(stderr, "error: unknown argument '%s' (try --help)\n",
                  bad.c_str());
@@ -308,7 +326,8 @@ int main(int argc, char** argv) {
   }
   for (const char* f : {"faults", "retry-budget", "task-timeout-us",
                         "trace-spans", "power", "governor",
-                        "power-cap-watts", "threads", "sim-core"}) {
+                        "power-cap-watts", "threads", "sim-core",
+                        "migrate", "autoscale", "resize"}) {
     if (flags.has(f) && (multi || rts[0] != "Cluster")) {
       std::fprintf(stderr, "error: --%s only applies to --runtime=Cluster\n",
                    f);
@@ -558,6 +577,94 @@ int main(int argc, char** argv) {
         return 1;
       }
     }
+
+    // Elastic plane: --migrate arms checkpoint/restore drains; --autoscale
+    // and --resize additionally need the power plane (they park nodes in
+    // S-states) and are meaningless without either, so they fail fast.
+    rcfg.cluster.migrate = flags.has("migrate");
+    rcfg.cluster.autoscale = flags.get("autoscale");
+    rcfg.cluster.resize = flags.get("resize");
+    if (flags.has("autoscale") && rcfg.cluster.autoscale.empty()) {
+      std::fprintf(stderr,
+                   "error: --autoscale needs a spec "
+                   "(UTIL[:LOW:HIGH[:MIN]], e.g. --autoscale=0.6); "
+                   "see --list-policies\n");
+      return 1;
+    }
+    if (flags.has("resize") && rcfg.cluster.resize.empty()) {
+      std::fprintf(stderr,
+                   "error: --resize needs a plan (AT_US:NODES[,...], e.g. "
+                   "--resize=50000:8); see --list-policies\n");
+      return 1;
+    }
+    std::string elastic_err;
+    if (!rcfg.cluster.autoscale.empty() &&
+        !migrate::parse_autoscale_spec(rcfg.cluster.autoscale, &elastic_err)
+             .has_value()) {
+      std::fprintf(stderr, "error: bad --autoscale spec: %s\n",
+                   elastic_err.c_str());
+      return 1;
+    }
+    if (!rcfg.cluster.resize.empty() &&
+        !migrate::parse_resize_spec(rcfg.cluster.resize, &elastic_err)
+             .has_value()) {
+      std::fprintf(stderr, "error: bad --resize spec: %s\n",
+                   elastic_err.c_str());
+      return 1;
+    }
+    if ((flags.has("autoscale") || flags.has("resize")) &&
+        !rcfg.cluster.migrate) {
+      std::fprintf(stderr,
+                   "error: --%s resizes the fleet by draining nodes, which "
+                   "needs the migration plane; add --migrate "
+                   "(see --list-policies)\n",
+                   flags.has("autoscale") ? "autoscale" : "resize");
+      return 1;
+    }
+    if ((flags.has("autoscale") || flags.has("resize")) &&
+        rcfg.cluster.power.empty()) {
+      std::fprintf(stderr,
+                   "error: --%s parks drained nodes in S-states, which "
+                   "needs the power plane; add --power=SPEC "
+                   "(see --list-policies)\n",
+                   flags.has("autoscale") ? "autoscale" : "resize");
+      return 1;
+    }
+    if ((flags.has("autoscale") || flags.has("resize")) &&
+        rcfg.cluster.policy == "energy-min") {
+      std::fprintf(stderr,
+                   "error: --policy=energy-min manages sleep itself and "
+                   "cannot share the fleet with the autoscaler; pick "
+                   "another --policy (see --list-policies)\n");
+      return 1;
+    }
+    if (flags.has("autoscale")) {
+      const std::optional<migrate::AutoscaleConfig> as =
+          migrate::parse_autoscale_spec(rcfg.cluster.autoscale, &elastic_err);
+      if (as.has_value() &&
+          as->min_nodes > static_cast<int>(rcfg.cluster.specs.size())) {
+        std::fprintf(stderr,
+                     "error: --autoscale MIN=%d exceeds the fleet's %zu "
+                     "node(s)\n",
+                     as->min_nodes, rcfg.cluster.specs.size());
+        return 1;
+      }
+    }
+    if (flags.has("resize")) {
+      const std::optional<std::vector<migrate::ResizeStep>> steps =
+          migrate::parse_resize_spec(rcfg.cluster.resize, &elastic_err);
+      if (steps.has_value()) {
+        for (const migrate::ResizeStep& s : *steps) {
+          if (s.target > static_cast<int>(rcfg.cluster.specs.size())) {
+            std::fprintf(stderr,
+                         "error: --resize targets %d node(s) but the "
+                         "cluster has %zu\n",
+                         s.target, rcfg.cluster.specs.size());
+            return 1;
+          }
+        }
+      }
+    }
   }
 
   if (!multi && !harness::runtime_supports(wl, rt, wcfg)) {
@@ -700,6 +807,16 @@ int main(int argc, char** argv) {
                   rcfg.cluster.governor.c_str());
       if (rcfg.cluster.power_cap_watts > 0.0) {
         std::printf(", cap %.1f W", rcfg.cluster.power_cap_watts);
+      }
+      std::printf("\n");
+    }
+    if (rcfg.cluster.migrate) {
+      std::printf("elastic    migrate on");
+      if (!rcfg.cluster.autoscale.empty()) {
+        std::printf(", autoscale %s", rcfg.cluster.autoscale.c_str());
+      }
+      if (!rcfg.cluster.resize.empty()) {
+        std::printf(", resize %s", rcfg.cluster.resize.c_str());
       }
       std::printf("\n");
     }
