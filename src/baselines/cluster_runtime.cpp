@@ -96,6 +96,9 @@ struct ClusterRunState {
     dc.task_timeout = cfg.cluster.task_timeout;
     dc.sched = cfg.cluster.sched;
     dc.qos = cfg.cluster.qos;
+    // One oversubscription factor end-to-end: virtual slot admission here
+    // mirrors the per-node VirtualShmem/register virtualization.
+    dc.oversub = cfg.pagoda.oversub;
     if (!cfg.cluster.power.empty()) {
       dc.power.spec = power::PowerSpec::parse(cfg.cluster.power, &err);
       PAGODA_CHECK_MSG(dc.power.spec.has_value(),

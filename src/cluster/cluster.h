@@ -72,8 +72,23 @@ class GpuNode {
   /// Requests placed on this node and not yet finalized (queued for a
   /// TaskTable slot, copying, executing, or draining their output copy).
   int outstanding() const { return outstanding_; }
-  /// TaskTable entries on this device — the node's admission capacity.
-  int capacity() const { return session_.rt().cpu_table().size(); }
+  /// TaskTable entries on this device — the node's physical admission
+  /// capacity. Routed through the runtime's capacity accessor: layers above
+  /// src/pagoda never read the table structure directly.
+  int capacity() const { return session_.rt().table_capacity(); }
+  /// Admission capacity the dispatcher is allowed to oversubscribe: virtual
+  /// TaskTable slots = floor(oversub x physical entries). Equals capacity()
+  /// at oversub == 1, so un-virtualized runs are untouched.
+  int virtual_capacity() const {
+    return static_cast<int>(static_cast<double>(capacity()) *
+                            session_.rt().config().oversub);
+  }
+  /// Bytes of virtual shared memory currently spilled to the backing store —
+  /// the spill-pressure signal the vres-aware placement policy reads. 0
+  /// unless the node runs with oversub > 1.
+  std::int64_t vres_spilled_bytes() const {
+    return session_.rt().master_kernel().vres_spilled_bytes_in_use();
+  }
   /// Executor warps across all MTBs (relative device muscle; a Tesla K40
   /// node has fewer than a Titan X node).
   int executor_warp_capacity() const {

@@ -67,13 +67,31 @@ Dispatcher::Dispatcher(Cluster& cluster,
   PAGODA_CHECK_MSG(policy_ != nullptr, "Dispatcher needs a placement policy");
   fault_armed_ = cfg_.faults.enabled() || cfg_.task_timeout > 0;
   qos_ = cfg_.qos || cfg_.sched.kind != sched::PolicyKind::kFifo;
+  PAGODA_CHECK_MSG(cfg_.oversub >= 1.0,
+                   "oversub < 1 would silently strand physical capacity; "
+                   "use a smaller TaskTable instead");
+  vres_armed_ = cfg_.oversub > 1.0;
   node_state_.resize(static_cast<std::size_t>(cluster.size()));
   for (int i = 0; i < cluster.size(); ++i) {
     GpuNode& node = cluster.node(i);
     NodeState& ns = node_state_[static_cast<std::size_t>(i)];
-    ns.slots = std::make_unique<sched::ReadyQueue>(
-        cluster.sim(), node.capacity(), sched_policy_);
+    // Virtual admission: the slot queue backpressures on floor(oversub x
+    // TaskTable entries), so up to (virtual - physical) extra requests per
+    // node stage inputs and pipeline behind task_spawn instead of queueing
+    // host-side. records[] stays PHYSICAL — only tasks that actually own a
+    // table entry are tracked, so entry-indexed bookkeeping is unaffected
+    // by over-admission.
+    const int slot_capacity =
+        vres_armed_ ? static_cast<int>(static_cast<double>(node.capacity()) *
+                                       cfg_.oversub)
+                    : node.capacity();
+    ns.slots = std::make_unique<sched::ReadyQueue>(cluster.sim(),
+                                                   slot_capacity,
+                                                   sched_policy_);
     ns.records.resize(static_cast<std::size_t>(node.capacity()));
+    if (vres_armed_) {
+      ns.slot_ledger = vres::ResourceLedger(slot_capacity, /*physical=*/0);
+    }
     ns.activity = std::make_unique<sim::Condition>(cluster.sim());
     node.rt().set_completion_observer(
         [this, i](runtime::TaskId id, sim::Time) { on_task_complete(i, id); });
@@ -362,6 +380,7 @@ sim::Process Dispatcher::serve(Attempt a, int node_index) {
     co_return;
   }
   stats_.slot_acquires += 1;
+  vres_slot_granted(ns);
   const std::uint64_t drain_epoch0 = ns.drain_epoch;
   if (tracer_ != nullptr) tracer_->on_granted(a.uid, sim().now());
 
@@ -403,6 +422,7 @@ sim::Process Dispatcher::serve(Attempt a, int node_index) {
         // it must re-place itself (again without charging the budget).
         if (tracer_ != nullptr) tracer_->on_redispatch(a.uid);
         ns.slots->release();
+        vres_slot_freed(ns, /*spawned=*/false);
         node.abandon_outstanding(a.r.cost);
         stats_.redispatched += 1;
         fault_event("redispatch");
@@ -413,6 +433,7 @@ sim::Process Dispatcher::serve(Attempt a, int node_index) {
         stats_.injected_transfer_faults += 1;
         fault_event("transfer_fault");
         ns.slots->release();
+        vres_slot_freed(ns, /*spawned=*/false);
         attempt_failed(node_index, std::move(a),
                        fault::FailureCause::kTransferFault);
         co_return;
@@ -430,6 +451,7 @@ sim::Process Dispatcher::serve(Attempt a, int node_index) {
     // draining table. The epoch guard keeps an attempt RESTORED onto a
     // still-draining node (zero-loss fallback) from migrating forever.
     ns.slots->release();
+    vres_slot_freed(ns, /*spawned=*/false);
     node.abandon_outstanding(a.r.cost);
     sim().spawn(
         migrate_out(node_index, std::move(a), migrate::SafePoint::kStaged));
@@ -438,6 +460,7 @@ sim::Process Dispatcher::serve(Attempt a, int node_index) {
 
   const runtime::TaskHandle h = co_await node.rt().task_spawn(a.r.params);
   ns.spawn_epoch += 1;
+  vres_slot_spawned(ns);
   ns.activity->notify_all();
   if (tracer_ != nullptr) tracer_->on_spawned(a.uid, sim().now());
   if (node.health() == fault::NodeHealth::kDead) {
@@ -446,6 +469,7 @@ sim::Process Dispatcher::serve(Attempt a, int node_index) {
     // the orphaned TaskTable entry resolves GPU-side on its own.
     if (tracer_ != nullptr) tracer_->on_redispatch(a.uid);
     ns.slots->release();
+    vres_slot_freed(ns, /*spawned=*/true);
     node.abandon_outstanding(a.r.cost);
     stats_.redispatched += 1;
     fault_event("redispatch");
@@ -509,6 +533,7 @@ void Dispatcher::on_task_complete(int node_index, runtime::TaskId id) {
       stats_.injected_task_faults += 1;
       fault_event("task_fault");
       ns.slots->release();
+      vres_slot_freed(ns, /*spawned=*/true);
       attempt_failed(node_index, std::move(a), fault::FailureCause::kTaskFault);
       return;
     }
@@ -546,6 +571,47 @@ void Dispatcher::on_task_claimed(int node_index, runtime::TaskId id,
   tracer_->on_claimed(ns.records[idx].uid, now);
 }
 
+void Dispatcher::on_task_vres(int node_index, runtime::TaskId id,
+                              sim::Time start, sim::Time end, bool spill) {
+  if (tracer_ == nullptr) return;
+  if (!cluster_->node(node_index).alive()) return;
+  NodeState& ns = node_state_[static_cast<std::size_t>(node_index)];
+  const std::size_t idx = static_cast<std::size_t>(id - runtime::kFirstTaskId);
+  if (idx >= ns.records.size() || !ns.records[idx].active) return;
+  if (spill) {
+    tracer_->on_vres_spill(ns.records[idx].uid, start, end);
+  } else {
+    tracer_->on_vres_reclaim(ns.records[idx].uid, start, end);
+  }
+}
+
+// --- virtual slot ledger ----------------------------------------------------
+
+void Dispatcher::vres_slot_granted(NodeState& ns) {
+  if (!vres_armed_) return;
+  ns.slot_ledger.allocate_spilled(1);
+  // The grant rode purely virtual headroom when more slots are out than the
+  // table physically holds (the spilled depth is exactly that excess, since
+  // resident slots never exceed spawned-and-undrained tasks).
+  if (ns.slot_ledger.virtual_allocated() >
+      static_cast<std::int64_t>(ns.records.size())) {
+    stats_.vres_over_admissions += 1;
+  }
+}
+
+void Dispatcher::vres_slot_spawned(NodeState& ns) {
+  if (vres_armed_) ns.slot_ledger.reclaim(1);
+}
+
+void Dispatcher::vres_slot_freed(NodeState& ns, bool spawned) {
+  if (!vres_armed_) return;
+  if (spawned) {
+    ns.slot_ledger.free_resident(1);
+  } else {
+    ns.slot_ledger.free_spilled(1);
+  }
+}
+
 void Dispatcher::on_deadline(int node_index, std::size_t idx,
                              std::uint64_t uid) {
   NodeState& ns = node_state_[static_cast<std::size_t>(node_index)];
@@ -555,6 +621,7 @@ void Dispatcher::on_deadline(int node_index, std::size_t idx,
     stats_.detected_timeouts += 1;
     fault_event("timeout");
     ns.slots->release();
+    vres_slot_freed(ns, /*spawned=*/true);
     attempt_failed(node_index, std::move(a), fault::FailureCause::kTimeout);
     return;
   }
@@ -566,6 +633,7 @@ void Dispatcher::on_deadline(int node_index, std::size_t idx,
   stats_.detected_timeouts += 1;
   fault_event("timeout");
   ns.slots->release();
+  vres_slot_freed(ns, /*spawned=*/true);
   attempt_failed(node_index, std::move(a), fault::FailureCause::kTimeout);
 }
 
@@ -627,6 +695,7 @@ void Dispatcher::finalize(int node_index, Attempt att) {
   node.remove_outstanding(att.r.cost);
   NodeState& ns = node_state_[static_cast<std::size_t>(node_index)];
   ns.slots->release();
+  vres_slot_freed(ns, /*spawned=*/true);
   stats_.slot_releases += 1;
   stats_.completed += 1;
   ClassStats& cs = cstats(att.r.cls);
@@ -714,6 +783,7 @@ void Dispatcher::node_failed(int node_index) {
     ns.records[idx] = NodeState::Record{};
     ns.tracked -= 1;
     ns.slots->release();
+    vres_slot_freed(ns, /*spawned=*/true);
     node.abandon_outstanding(a.r.cost);
     stats_.redispatched += 1;
     fault_event("redispatch");
@@ -734,6 +804,7 @@ void Dispatcher::node_failed(int node_index) {
     Attempt a = std::move(it->second.att);
     it = wedged_.erase(it);
     ns.slots->release();
+    vres_slot_freed(ns, /*spawned=*/true);
     node.abandon_outstanding(a.r.cost);
     stats_.redispatched += 1;
     fault_event("redispatch");
@@ -801,6 +872,7 @@ sim::Process Dispatcher::migrate_revoke(int node_index, std::size_t idx,
   ns.records[idx] = NodeState::Record{};
   ns.tracked -= 1;
   ns.slots->release();
+  vres_slot_freed(ns, /*spawned=*/true);
   node.abandon_outstanding(a.r.cost);
   sim().spawn(migrate_out(node_index, std::move(a),
                           migrate::SafePoint::kTableParked));
@@ -1095,6 +1167,37 @@ void Dispatcher::export_metrics(obs::MetricsRegistry& m) const {
           .set(static_cast<std::int64_t>(as.resize_events));
     }
   }
+  if (vres_armed_) {
+    // Gated like every other plane so oversub == 1 runs emit no vres.* keys
+    // and their metric JSON stays byte-identical to the pre-vres build.
+    std::int64_t virt_slots = 0;
+    std::int64_t phys_slots = 0;
+    std::int64_t over_peak = 0;
+    std::int64_t spills = 0;
+    std::int64_t reclaims = 0;
+    std::int64_t spill_bytes = 0;
+    std::int64_t reclaim_bytes = 0;
+    for (int i = 0; i < cluster_->size(); ++i) {
+      const NodeState& ns = node_state_[static_cast<std::size_t>(i)];
+      virt_slots += ns.slot_ledger.virtual_capacity();
+      phys_slots += static_cast<std::int64_t>(ns.records.size());
+      over_peak = std::max(over_peak, ns.slot_ledger.peak_spilled());
+      const runtime::MasterKernel& mk =
+          cluster_->node(i).rt().master_kernel();
+      spills += mk.vres_spills();
+      reclaims += mk.vres_reclaims();
+      spill_bytes += mk.vres_spill_bytes();
+      reclaim_bytes += mk.vres_reclaim_bytes();
+    }
+    m.counter("vres.slots.virtual").set(virt_slots);
+    m.counter("vres.slots.physical").set(phys_slots);
+    m.counter("vres.slots.over_admissions").set(stats_.vres_over_admissions);
+    m.counter("vres.slots.overadmission_peak").set(over_peak);
+    m.counter("vres.shmem.spills").set(spills);
+    m.counter("vres.shmem.reclaims").set(reclaims);
+    m.counter("vres.shmem.spill_bytes").set(spill_bytes);
+    m.counter("vres.shmem.reclaim_bytes").set(reclaim_bytes);
+  }
 }
 
 void Dispatcher::set_tracer(obs::RequestTracer* tracer) {
@@ -1107,6 +1210,9 @@ void Dispatcher::set_tracer(obs::RequestTracer* tracer) {
         [this, i](runtime::TaskId id, sim::Time now) {
           on_task_claimed(i, id, now);
         });
+    cluster_->node(i).rt().set_vres_observer(
+        [this, i](runtime::TaskId id, sim::Time start, sim::Time end,
+                  bool spill) { on_task_vres(i, id, start, end, spill); });
   }
 }
 

@@ -84,6 +84,7 @@
 #include "sched/policy.h"
 #include "sched/ready_queue.h"
 #include "sim/sync.h"
+#include "vres/resource_ledger.h"
 
 namespace pagoda::obs {
 class Collector;
@@ -144,6 +145,16 @@ struct DispatcherConfig {
   /// not shed) and the power plane (parked nodes sleep in S-states), and is
   /// mutually exclusive with power.manage_sleep — one mover of S-states.
   migrate::AutoscaleConfig autoscale{};
+
+  // --- virtual resource plane (off by default; see src/vres) ---------------
+  /// TaskTable-slot oversubscription factor, mirrored from the nodes'
+  /// PagodaConfig::oversub. > 1 arms virtual admission: each per-node slot
+  /// queue is sized to floor(oversub x TaskTable entries), so admission
+  /// backpressures on VIRTUAL capacity while the table itself stays
+  /// physical (the extra admitted requests pipeline behind task_spawn).
+  /// Exactly 1.0 (the default) leaves every event stream and metric dump
+  /// byte-identical to the pre-vres dispatcher. < 1.0 is rejected.
+  double oversub = 1.0;
 };
 
 class Dispatcher {
@@ -189,6 +200,10 @@ class Dispatcher {
     /// Revoke raced a scheduler-warp claim and lost; the attempt ran to
     /// completion on the draining node instead.
     std::int64_t migrate_declined = 0;
+    // --- virtual resource plane -------------------------------------------
+    /// Slot grants issued beyond a node's physical TaskTable capacity
+    /// (oversub > 1 only): admissions that rode purely virtual headroom.
+    std::int64_t vres_over_admissions = 0;
   };
 
   /// Per-class slice of the ledger. The same exactly-once invariant holds
@@ -274,6 +289,12 @@ class Dispatcher {
     return migration_.get();
   }
   bool migrate_armed() const { return migrate_armed_; }
+  /// Virtual slot admission active (cfg.oversub > 1).
+  bool vres_armed() const { return vres_armed_; }
+  /// The per-node virtual slot ledger (tests; valid for any node index).
+  const vres::ResourceLedger& slot_ledger(int node_index) const {
+    return node_state_[static_cast<std::size_t>(node_index)].slot_ledger;
+  }
   /// The autoscaler, when armed (nullptr otherwise).
   const migrate::Autoscaler* autoscaler() const { return autoscaler_.get(); }
 
@@ -352,6 +373,15 @@ class Dispatcher {
     /// checkpoint itself — while an attempt RESTORED onto a still-draining
     /// node (the zero-loss fallback) sees equal epochs and runs in place.
     std::uint64_t drain_epoch = 0;
+    /// Virtual slot accounting (oversub > 1 only; idle otherwise). A slot
+    /// grant allocates SPILLED — admitted on virtual capacity, no physical
+    /// entry yet; a landed task_spawn reclaims it to RESIDENT. The ledger's
+    /// invariant (virtual == physical + spilled) holds at every transition,
+    /// and peak_spilled() is the node's maximum over-admission depth. The
+    /// physical cap is deliberately unbounded here: a slot stays RESIDENT
+    /// through its output drain after the GPU already freed the entry, so
+    /// the real physical bound is task_spawn backpressure, not the ledger.
+    vres::ResourceLedger slot_ledger;
   };
 
   /// A wedged attempt: its TaskTable entry completed GPU-side but the
@@ -401,6 +431,16 @@ class Dispatcher {
   /// Claim-observer hook (tracing only): resolves the claimed TaskTable
   /// entry to its request uid and stamps the warp_wait -> exec boundary.
   void on_task_claimed(int node_index, runtime::TaskId id, sim::Time now);
+  /// Vres-observer hook (tracing only): resolves the spilling/reclaiming
+  /// task to its request uid and carves the transfer window out of the
+  /// request's open phase interval.
+  void on_task_vres(int node_index, runtime::TaskId id, sim::Time start,
+                    sim::Time end, bool spill);
+  // --- virtual slot ledger (no-ops unless vres_armed_) ---------------------
+  void vres_slot_granted(NodeState& ns);
+  void vres_slot_spawned(NodeState& ns);
+  /// `spawned` selects which ledger state the released slot occupied.
+  void vres_slot_freed(NodeState& ns, bool spawned);
   void on_deadline(int node_index, std::size_t idx, std::uint64_t uid);
   /// Attempt bookkeeping is already unwound (slot released, record erased)
   /// when this runs; it only un-counts node load and routes retry-vs-shed.
@@ -443,6 +483,7 @@ class Dispatcher {
   bool qos_ = false;  // sched.* export + per-class timeline armed
   bool power_armed_ = false;  // power.* export + governor running
   bool migrate_armed_ = false;  // migrate-not-shed drains + migrate.* export
+  bool vres_armed_ = false;  // virtual slot admission + vres.* export
   sched::Policy sched_policy_;
   std::uint64_t sched_seq_ = 0;  // global admission sequence (ties)
   std::vector<NodeState> node_state_;

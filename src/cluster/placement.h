@@ -27,6 +27,13 @@
 //                        governor can drain + sleep the idle tail of the
 //                        fleet. Reduces to lowest-index packing when the
 //                        power plane is off.
+//   vres-aware         — virtual-resource headroom: maximize virtual slot
+//                        headroom (floor(oversub x TaskTable) minus
+//                        outstanding) discounted by the node's current
+//                        spill-backing-store depth, so oversubscribed nodes
+//                        absorb extra work until spill pressure makes a
+//                        cooler peer cheaper. Reduces to least-outstanding
+//                        headroom at oversub == 1.
 #pragma once
 
 #include <memory>

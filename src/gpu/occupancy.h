@@ -44,6 +44,54 @@ inline OccupancyResult max_residency(const GpuSpec& spec,
   return r;
 }
 
+/// Maximum residency under virtual-resource oversubscription (DESIGN.md
+/// §16): the declared footprint is charged against `oversub x` the physical
+/// shmem/register capacity, while the physical capacity only has to hold the
+/// *used* footprint. Block/warp/thread slots stay physical — they cannot be
+/// virtualized. With oversub == 1 and used == declared this reduces exactly
+/// to max_residency(spec, declared).
+inline OccupancyResult max_residency_virtual(const GpuSpec& spec,
+                                             const BlockFootprint& declared,
+                                             const BlockFootprint& used,
+                                             double oversub) {
+  OccupancyResult r;
+  if (declared.warps == 0) return r;
+  const auto scaled = [oversub](std::int64_t capacity) {
+    return static_cast<std::int64_t>(static_cast<double>(capacity) * oversub);
+  };
+  const int by_blocks = spec.max_blocks_per_smm;
+  const int by_warps = spec.warps_per_smm / declared.warps;
+  const int by_threads =
+      spec.max_threads_per_smm / std::max(1, declared.threads);
+  // Virtual limits (declared vs oversubscribed capacity) and physical
+  // limits (used vs real capacity): the binding constraint is the min.
+  const int by_shmem_virt =
+      declared.shared_mem_bytes > 0
+          ? static_cast<int>(scaled(spec.shared_mem_per_smm) /
+                             declared.shared_mem_bytes)
+          : spec.max_blocks_per_smm;
+  const int by_shmem_phys =
+      used.shared_mem_bytes > 0
+          ? static_cast<int>(spec.shared_mem_per_smm / used.shared_mem_bytes)
+          : spec.max_blocks_per_smm;
+  const int by_regs_virt =
+      declared.registers > 0
+          ? static_cast<int>(scaled(spec.registers_per_smm) /
+                             declared.registers)
+          : spec.max_blocks_per_smm;
+  const int by_regs_phys =
+      used.registers > 0
+          ? static_cast<int>(spec.registers_per_smm / used.registers)
+          : spec.max_blocks_per_smm;
+  r.blocks_per_smm = std::max(
+      0, std::min({by_blocks, by_warps, by_threads, by_shmem_virt,
+                   by_shmem_phys, by_regs_virt, by_regs_phys}));
+  r.warps_per_smm = r.blocks_per_smm * declared.warps;
+  r.occupancy = static_cast<double>(r.warps_per_smm) /
+                static_cast<double>(spec.warps_per_smm);
+  return r;
+}
+
 /// Device-wide occupancy of `concurrent_blocks` resident blocks of footprint
 /// `f` spread over all SMMs (the §2 narrow-task arithmetic).
 inline double device_occupancy(const GpuSpec& spec, const BlockFootprint& f,

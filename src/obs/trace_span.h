@@ -56,8 +56,10 @@ enum class Phase : std::uint8_t {
   kRetryBackoff,     // deterministic backoff before a budget-charged retry
   kPowerWakeup,      // node was asleep at grant time: S-state wake latency
   kMigrateXfer,      // drain-migration: checkpoint transfer + re-placement
+  kVresSpill,        // oversub > 1: cold-victim eviction to the backing store
+  kVresReclaim,      // oversub > 1: spilled block pulled back on touch
 };
-inline constexpr int kNumPhases = 11;
+inline constexpr int kNumPhases = 13;
 
 constexpr std::string_view to_string(Phase p) {
   switch (p) {
@@ -72,6 +74,8 @@ constexpr std::string_view to_string(Phase p) {
     case Phase::kRetryBackoff: return "retry_backoff";
     case Phase::kPowerWakeup: return "power_wakeup";
     case Phase::kMigrateXfer: return "migrate_xfer";
+    case Phase::kVresSpill: return "vres_spill";
+    case Phase::kVresReclaim: return "vres_reclaim";
   }
   return "?";
 }
@@ -151,6 +155,13 @@ class RequestTracer {
   void on_spawned(std::uint64_t uid, sim::Time now);
   /// GPU-side scheduler warp claimed the entry (via the claim observer).
   void on_claimed(std::uint64_t uid, sim::Time now);
+  /// A vres spill/reclaim transfer occupied [start, end) of this request's
+  /// current phase (via the vres observer; oversub > 1 only). The window is
+  /// carved out of the open interval — [last, start) stays in the pending
+  /// phase, [start, end) lands in the vres bucket, and the open interval
+  /// resumes at `end` — so the tiling invariant is preserved exactly.
+  void on_vres_spill(std::uint64_t uid, sim::Time start, sim::Time end);
+  void on_vres_reclaim(std::uint64_t uid, sim::Time start, sim::Time end);
   /// Host-visible GPU completion (before the D2H drain).
   void on_exec_done(std::uint64_t uid, sim::Time now);
   /// Charges the in-progress phase up to `now` without advancing the state

@@ -37,7 +37,6 @@
 #include "gpu/device.h"
 #include "gpu/kernel.h"
 #include "pagoda/named_barriers.h"
-#include "pagoda/shmem_allocator.h"
 #include "pagoda/task_table.h"
 #include "pagoda/trace.h"
 #include "pagoda/warp_table.h"
@@ -45,6 +44,8 @@
 #include "sim/process.h"
 #include "sim/sync.h"
 #include "sim/task.h"
+#include "vres/resource_ledger.h"
+#include "vres/virtual_shmem.h"
 
 namespace pagoda::runtime {
 
@@ -78,6 +79,19 @@ struct PagodaConfig {
   /// (byte-identical event stream); other policies defer claims to a
   /// comparator-ordered pass charged claim_select_cycles.
   sched::PolicyConfig sched{};
+
+  /// Virtual-resource oversubscription factor (DESIGN.md §16). 1.0 (the
+  /// default) keeps every shmem/register/slot decision on the physical
+  /// capacities — byte-identical to the pre-vres runtime by construction.
+  /// F > 1 virtualizes each MTB arena to F x its bytes, each MTB register
+  /// budget to F x its share, and each node's TaskTable admission to
+  /// F x its entries, with spill-on-pressure to a backing store.
+  double oversub = 1.0;
+
+  /// Transfer rate charged for vres spill/reclaim traffic (modeled as a
+  /// PCIe-rate DMA local to the node; the shard-crossing link itself is not
+  /// contended, keeping spills lookahead-free).
+  double vres_spill_gbps = 12.0;
 
   // GPU-side scheduling cost constants (cycles on the SMM pipeline).
   double scan_pass_cycles = 16.0;          // one scan of the 32-row column
@@ -152,13 +166,27 @@ class MasterKernel {
   /// MTB is this / (elapsed * kExecutorWarps).
   double executor_busy_warp_seconds(int mtb_index) const;
 
-  /// Buddy-arena pressure, aggregated over all MTBs' ShmemAllocators.
+  /// Buddy-arena pressure, aggregated over all MTBs' physical arenas.
   std::int64_t shmem_bytes_in_use() const;
   /// Highest per-arena high-water mark (bytes) across MTBs.
   std::int32_t shmem_peak_arena_bytes() const;
   std::int64_t shmem_alloc_successes() const;
   std::int64_t shmem_alloc_failures() const;
   std::int64_t shmem_sweeps() const;
+  /// Fragmentation of the physical buddy arenas: worst (lowest) per-MTB
+  /// external-fragmentation gauge, and total internal rounding loss.
+  double shmem_external_frag() const;
+  std::int64_t shmem_internal_frag_bytes() const;
+
+  // --- virtual-resource plane (oversub > 1 only; all zero otherwise) ------
+  std::int64_t vres_spills() const;
+  std::int64_t vres_reclaims() const;
+  std::int64_t vres_spill_bytes() const;
+  std::int64_t vres_reclaim_bytes() const;
+  /// Declared bytes currently charged against the virtual arenas.
+  std::int64_t vres_virtual_bytes_in_use() const;
+  /// Bytes currently living in backing stores (spilled, not yet reclaimed).
+  std::int64_t vres_spilled_bytes_in_use() const;
 
   /// Observer invoked (GPU-side, at the moment the last warp clears the
   /// ready field) for every completed task. Instrumentation only.
@@ -174,6 +202,16 @@ class MasterKernel {
   void set_claim_observer(ClaimObserver obs) {
     claim_observer_ = std::move(obs);
   }
+
+  /// Observer invoked after a vres spill (spill = true; charged to the task
+  /// whose allocation triggered the eviction) or reclaim (spill = false;
+  /// charged to the task touching its spilled block) finishes, with the
+  /// transfer's [start, end) window. Instrumentation only — the request
+  /// tracer's vres_spill/vres_reclaim phase buckets. Never fires at
+  /// oversub == 1.
+  using VresObserver =
+      std::function<void(TaskId, sim::Time start, sim::Time end, bool spill)>;
+  void set_vres_observer(VresObserver obs) { vres_observer_ = std::move(obs); }
 
   /// Time-integrated busy executor warps (warp·seconds): the achieved
   /// task-execution occupancy is this / (elapsed * 64 * num_smms).
@@ -191,7 +229,14 @@ class MasterKernel {
     std::array<WarpSlot, kExecutorWarps> warp_table;
     int free_slots = kExecutorWarps;
     std::vector<std::byte> arena;  // backing bytes for the 32 KB shared mem
-    ShmemAllocator shmem;
+    /// The virtual facade over this MTB's physical buddy arena. At
+    /// oversub == 1 every call is a verbatim delegation to the buddy
+    /// (byte-identical); above 1 it owns the virtual mapping and spills.
+    vres::VirtualShmem shmem;
+    /// Virtual register budget (oversub x this MTB's register-file share).
+    /// Passive at oversub == 1 (never charged); above 1, claims defer —
+    /// wait, never spill — while the budget is exhausted.
+    vres::ResourceLedger regs;
     NamedBarrierPool barriers;
     std::vector<std::int32_t> done_ctr;  // per TaskTable row
     sim::Condition sched_cv;             // scheduler warp wakeups
@@ -211,14 +256,15 @@ class MasterKernel {
     std::vector<int> claim_rows;
 
     Mtb(sim::Simulation& sim, int rows, std::int32_t arena_bytes,
-        const sched::PolicyConfig& sched_cfg)
+        const PagodaConfig& cfg, std::int64_t reg_virtual_capacity)
         : arena(static_cast<std::size_t>(arena_bytes)),
-          shmem(arena_bytes),
+          shmem(std::span<std::byte>(arena), cfg.oversub),
+          regs(reg_virtual_capacity, /*physical_capacity=*/0),
           barriers(sim),
           done_ctr(static_cast<std::size_t>(rows), 0),
           sched_cv(sim),
           exec_cv(sim),
-          claim_policy(sched_cfg) {}
+          claim_policy(cfg.sched) {}
   };
 
   void wake_scheduler(Mtb& mtb) {
@@ -240,6 +286,12 @@ class MasterKernel {
   sim::Task<> schedule_entry(Mtb& mtb, int row);
   sim::Task<> psched(Mtb& mtb, int row, int base_warp, int count,
                      std::shared_ptr<BlockState> block);
+  /// Executor-side vres touch: reclaims the slot's block from the backing
+  /// store if spilled (waiting for physical room when everything is
+  /// pinned), refreshes slot.sm_index, and charges/reports the transfer.
+  sim::Task<> ensure_resident(Mtb& mtb, WarpSlot& slot);
+  /// Wire time of a vres spill/reclaim transfer at vres_spill_gbps.
+  sim::Duration vres_xfer_time(std::int64_t bytes) const;
 
   gpu::Device& dev_;
   TaskTable& gpu_table_;
@@ -263,6 +315,7 @@ class MasterKernel {
   std::int64_t shmem_blocks_swept_ = 0;
   CompletionObserver completion_observer_;
   ClaimObserver claim_observer_;
+  VresObserver vres_observer_;
   TraceRecorder* trace_ = nullptr;
 
   void trace(TraceKind kind, TaskId task, std::int32_t aux = 0) {

@@ -59,6 +59,11 @@ void Runtime::validate(const TaskParams& p, const gpu::GpuSpec& spec) {
   PAGODA_CHECK_MSG(p.args_size >= 0 &&
                        p.args_size <= static_cast<std::int32_t>(kMaxArgBytes),
                    "taskSpawn: argument blob too large");
+  PAGODA_CHECK_MSG(
+      p.shmem_used_256 == 0 || p.shmem_used_bytes() <= p.shared_mem_bytes,
+      "taskSpawn: used shared memory exceeds the declared footprint");
+  PAGODA_CHECK_MSG(p.shared_mem_bytes > 0 || p.shmem_used_256 == 0,
+                   "taskSpawn: used-shmem hint without declared shared memory");
 }
 
 int Runtime::scan_cpu_for_free() {

@@ -126,6 +126,12 @@ class Runtime {
     mk_.set_claim_observer(std::move(obs));
   }
 
+  /// Instrumentation: invoked after every vres spill/reclaim transfer
+  /// (oversub > 1 only; never fires at oversub == 1).
+  void set_vres_observer(MasterKernel::VresObserver obs) {
+    mk_.set_vres_observer(std::move(obs));
+  }
+
   /// Optional event tracing (host + GPU sides). Owned by the caller; must
   /// outlive the Runtime. nullptr disables tracing.
   void set_trace_recorder(TraceRecorder* trace) {
@@ -137,6 +143,10 @@ class Runtime {
   /// abort on a handle carrying a different uid.
   std::uint64_t uid() const { return uid_; }
   const PagodaConfig& config() const { return cfg_; }
+  /// Physical TaskTable capacity (entries). Layers above src/pagoda reason
+  /// about capacity through this (or a virtual scaling of it) rather than
+  /// reading the table structure directly.
+  int table_capacity() const { return cpu_table_.size(); }
   const TaskTable& cpu_table() const { return cpu_table_; }
   /// GPU-side mirror of the TaskTable (observability: per-state occupancy
   /// and spawn-pipeline depth are read from here, never written).

@@ -78,6 +78,7 @@ std::optional<std::int32_t> ShmemAllocator::allocate(std::int32_t bytes) {
     allocated_bytes_ += block;
     peak_allocated_bytes_ = std::max(peak_allocated_bytes_, allocated_bytes_);
     alloc_successes_ += 1;
+    internal_frag_bytes_ += block - bytes;
     return offset;
   }
   alloc_failures_ += 1;
@@ -130,6 +131,27 @@ bool ShmemAllocator::check_invariants() const {
     if (!marked_[static_cast<std::size_t>(node)]) return false;
   }
   return true;
+}
+
+std::int32_t ShmemAllocator::largest_free_block() const {
+  // Top-down: the first level holding any unmarked node holds the largest
+  // allocatable block (an unmarked node's subtree is entirely free).
+  for (int level = 0; level <= levels_; ++level) {
+    const int first = first_node_of_level(level);
+    for (int node = first; node < first + nodes_in_level(level); ++node) {
+      if (!marked_[static_cast<std::size_t>(node)]) {
+        return level_block_size(level);
+      }
+    }
+  }
+  return 0;
+}
+
+double ShmemAllocator::external_fragmentation() const {
+  const std::int32_t total_free = arena_bytes_ - allocated_bytes_;
+  if (total_free == 0) return 1.0;
+  return static_cast<double>(largest_free_block()) /
+         static_cast<double>(total_free);
 }
 
 void ShmemAllocator::mark_for_deallocation(std::int32_t offset) {

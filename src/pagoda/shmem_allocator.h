@@ -70,6 +70,20 @@ class ShmemAllocator {
   std::int64_t blocks_swept() const { return blocks_swept_; }
   int deferred_count() const { return static_cast<int>(deferred_.size()); }
 
+  // --- fragmentation (the counters above can't tell "full" from
+  // --- "fragmented") ------------------------------------------------------
+  /// Internal fragmentation: total bytes lost to power-of-two rounding over
+  /// every successful allocate() (requested vs block_size_for), cumulative.
+  std::int64_t internal_frag_bytes() const { return internal_frag_bytes_; }
+  /// Largest currently allocatable block (the biggest unmarked node), 0 when
+  /// the arena is fully allocated.
+  std::int32_t largest_free_block() const;
+  /// External-fragmentation gauge: largest free block / total free bytes.
+  /// 1.0 = all free space is one contiguous buddy block (or the arena is
+  /// full, trivially unfragmented); lower values mean free space exists but
+  /// is scattered across buddies.
+  double external_fragmentation() const;
+
   /// Smallest power-of-two block size >= bytes (>= granularity).
   std::int32_t block_size_for(std::int32_t bytes) const;
 
@@ -104,6 +118,7 @@ class ShmemAllocator {
   std::int64_t alloc_failures_ = 0;
   std::int64_t sweeps_ = 0;
   std::int64_t blocks_swept_ = 0;
+  std::int64_t internal_frag_bytes_ = 0;
 };
 
 }  // namespace pagoda::runtime

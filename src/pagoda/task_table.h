@@ -60,6 +60,14 @@ struct TaskParams {
   /// QoS class (sched::Class numeric encoding; 1 = standard). Ordering
   /// decisions on this byte belong to sched::Policy, never to callers.
   std::uint8_t sched_class = 1;
+  /// Virtual-resource hints (DESIGN.md §16), in the two remaining padding
+  /// bytes so sizeof(TaskParams) is unchanged. Both are ignored unless the
+  /// runtime runs oversubscribed (--oversub > 1):
+  /// actually-used shared memory per threadblock in 256-byte units (0 =
+  /// uses the full declared shared_mem_bytes), ...
+  std::uint8_t shmem_used_256 = 0;
+  /// ... and actually-used registers per thread (0 = the declared budget).
+  std::uint8_t regs_used = 0;
   std::int32_t args_size = 0;
   /// Absolute deadline in microseconds of sim time (0 = none); encoded via
   /// sched::deadline_to_us. 32 bits outlast the 3600 s run cap.
@@ -68,6 +76,16 @@ struct TaskParams {
 
   int warps_per_block() const { return (threads_per_block + 31) / 32; }
   int warps_total() const { return warps_per_block() * num_blocks; }
+
+  /// Shared-memory bytes a threadblock actually touches (the physical
+  /// backing under oversubscription); == declared when no hint is set.
+  std::int32_t shmem_used_bytes() const {
+    return shmem_used_256 > 0 ? static_cast<std::int32_t>(shmem_used_256) * 256
+                              : shared_mem_bytes;
+  }
+  /// Registers per thread actually used; defaults to the MTB's 32-register
+  /// budget when no hint is set.
+  int regs_used_per_thread() const { return regs_used > 0 ? regs_used : 32; }
 
   template <typename T>
   void set_args(const T& value) {

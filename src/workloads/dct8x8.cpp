@@ -9,6 +9,7 @@
 //  * no-shared-memory: every DCT pass touches global memory (6 accesses/
 //    pixel with heavier stalls), no shmem request, 97% occupancy.
 // Both variants compute the same function: per 8x8 block B = C·A·Cᵀ.
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <vector>
@@ -136,22 +137,44 @@ class Dct8x8Workload final : public Workload {
   void do_generate(const WorkloadConfig& cfg) override {
     cfg_ = cfg;
     SplitMix64 rng(cfg.seed);
-    const int side = cfg.input_scale > 0 ? cfg.input_scale : kDefaultSide;
-    side_ = side;
-    const int pixels = side * side;
+    const int base_side = cfg.input_scale > 0 ? cfg.input_scale : kDefaultSide;
+    side_ = base_side;
     const auto n = static_cast<std::size_t>(cfg.num_tasks);
-    inputs_.resize(n * static_cast<std::size_t>(pixels));
+    // Per-task image sides. Irregular mode varies the camera resolution per
+    // task (different-but-small frames, like MM's matrix sweep) while every
+    // task keeps DECLARING the full 8 KB slab — the conservative worst-case
+    // reservation. The actually-touched slab is one 8-row band, side*8*4
+    // bytes, and the used-footprint hint exposes exactly that gap to the
+    // virtual resource plane: at --oversub > 1 the MasterKernel backs only
+    // the band physically and co-schedules more blocks per MTB.
+    sides_.resize(n);
+    std::size_t total_pixels = 0;
+    for (std::size_t t = 0; t < n; ++t) {
+      int side = base_side;
+      if (cfg.irregular_sizes) {
+        side = static_cast<int>(base_side * (0.5 + rng.next_double()));
+        side = std::max(8, ((side + 7) / 8) * 8);
+      }
+      sides_[t] = side;
+      total_pixels += static_cast<std::size_t>(side) *
+                      static_cast<std::size_t>(side);
+    }
+    inputs_.resize(total_pixels);
     for (auto& v : inputs_) v = static_cast<float>(rng.next_double()) * 255.0f;
     outputs_.assign(inputs_.size(), 0.0f);
 
     tasks_.clear();
     tasks_.reserve(n);
+    std::size_t offset = 0;
     for (std::size_t t = 0; t < n; ++t) {
+      const int side = sides_[t];
+      const int pixels = side * side;
       DctArgs args{};
-      args.in = inputs_.data() + t * static_cast<std::size_t>(pixels);
-      args.out = outputs_.data() + t * static_cast<std::size_t>(pixels);
+      args.in = inputs_.data() + offset;
+      args.out = outputs_.data() + offset;
       args.side = side;
       args.use_shmem = cfg.use_shared_memory ? 1 : 0;
+      offset += static_cast<std::size_t>(pixels);
 
       TaskSpec spec;
       spec.params.fn = dct_kernel;
@@ -159,6 +182,13 @@ class Dct8x8Workload final : public Workload {
       spec.params.num_blocks = cfg.blocks_per_task;
       spec.params.needs_sync = cfg.use_shared_memory;
       spec.params.shared_mem_bytes = cfg.use_shared_memory ? kShmemBytes : 0;
+      if (cfg.use_shared_memory) {
+        // One staged band of the image: side pixels x 8 rows x 4 bytes,
+        // always a multiple of 256 since side is a multiple of 8. Capped at
+        // the declared slab for large frames (the kernel stages in chunks).
+        spec.params.shmem_used_256 = static_cast<std::uint8_t>(
+            std::min(side * 8 * 4, kShmemBytes) / 256);
+      }
       spec.params.set_args(args);
       spec.regs_per_thread = traits().default_registers;
       spec.h2d_bytes = static_cast<std::int64_t>(pixels) * 4;
@@ -200,6 +230,7 @@ class Dct8x8Workload final : public Workload {
  private:
   WorkloadConfig cfg_;
   int side_ = kDefaultSide;
+  std::vector<int> sides_;
   std::vector<float> inputs_;
   std::vector<float> outputs_;
   std::vector<TaskSpec> tasks_;

@@ -6,10 +6,10 @@
 //   * sharded/N  — per-node shards drained by an N-thread worker pool.
 // The full --metrics JSON (and, on alternating seeds, the --trace-spans
 // dump) must be byte-identical across all three. Seeds rotate through a
-// plain run, a fault-plan run, a power-plane run and a migration run (a
-// rolling resize checkpointing in-flight attempts across nodes) so the
-// serialize fallbacks (require_serial) are pinned alongside the true
-// parallel path.
+// plain run, a fault-plan run, a power-plane run, a migration run (a
+// rolling resize checkpointing in-flight attempts across nodes) and an
+// oversubscribed virtual-resource run, so the serialize fallbacks
+// (require_serial) are pinned alongside the true parallel path.
 #include <gtest/gtest.h>
 
 #include <sstream>
@@ -25,8 +25,8 @@ namespace {
 constexpr int kSeeds = 50;
 constexpr int kWorkerThreads = 3;
 
-enum class Plane { kPlain, kFaults, kPower, kMigrate };
-constexpr int kNumPlanes = 4;
+enum class Plane { kPlain, kFaults, kPower, kMigrate, kVres };
+constexpr int kNumPlanes = 5;
 
 struct Dump {
   std::string metrics;
@@ -71,6 +71,14 @@ Dump run_once(std::uint64_t seed, Plane plane, bool want_spans,
     rcfg.cluster.power = "default";
     rcfg.cluster.migrate = true;
     rcfg.cluster.resize = "100:1,1200:3";
+  } else if (plane == Plane::kVres) {
+    // Oversubscribed virtual resource plane: irregular DCT declares the full
+    // 8 KB slab but touches less, so admission, shmem spill/reclaim and the
+    // vres-aware placement all run hot. Spill transfers are node-local
+    // deterministic delays, so the shard triplet must still agree bytewise.
+    wcfg.irregular_sizes = true;
+    rcfg.pagoda.oversub = 1.5;
+    rcfg.cluster.policy = "vres-aware";
   }
 
   obs::CollectorConfig ccfg;
@@ -79,8 +87,9 @@ Dump run_once(std::uint64_t seed, Plane plane, bool want_spans,
   obs::Collector collector(ccfg);
   rcfg.collector = &collector;
 
+  const char* workload = plane == Plane::kVres ? "DCT" : "MM";
   const harness::Measurement m =
-      harness::run_experiment("MM", "Cluster", wcfg, rcfg);
+      harness::run_experiment(workload, "Cluster", wcfg, rcfg);
 
   Dump d;
   std::ostringstream metrics;

@@ -1,0 +1,335 @@
+// The virtual resource plane (DESIGN.md §16): ResourceLedger invariants,
+// VirtualShmem passthrough byte-identity and deterministic spill/reclaim,
+// virtual occupancy arithmetic, and an end-to-end oversubscribed run in
+// compute mode (run_experiment aborts unless the CPU reference matches).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include "common/rng.h"
+#include "gpu/occupancy.h"
+#include "harness/calibration.h"
+#include "harness/experiment.h"
+#include "obs/collector.h"
+#include "pagoda/shmem_allocator.h"
+#include "vres/resource_ledger.h"
+#include "vres/virtual_shmem.h"
+
+namespace pagoda {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ResourceLedger: the 50-seed soak. Random transition sequences against a
+// shadow model; after EVERY transition the load-bearing invariant
+//     virtual_allocated == physical_allocated + spilled
+// must hold (plus non-negativity and capacity bounds).
+// ---------------------------------------------------------------------------
+
+TEST(ResourceLedgerSoak, FiftySeedsInvariantAtEveryTransition) {
+  constexpr int kSeeds = 50;
+  constexpr int kSteps = 400;
+  constexpr std::int64_t kVirtualCap = 1 << 14;
+  constexpr std::int64_t kPhysicalCap = 1 << 13;
+  for (int s = 0; s < kSeeds; ++s) {
+    SplitMix64 rng(0xA110CULL + static_cast<std::uint64_t>(s));
+    vres::ResourceLedger ledger(kVirtualCap, kPhysicalCap);
+    std::vector<std::int64_t> resident;
+    std::vector<std::int64_t> spilled;
+    const auto check = [&](const char* op) {
+      ASSERT_TRUE(ledger.check_invariant()) << "seed " << s << " op " << op;
+      ASSERT_EQ(ledger.virtual_allocated(),
+                ledger.physical_allocated() + ledger.spilled())
+          << "seed " << s << " op " << op;
+    };
+    for (int i = 0; i < kSteps; ++i) {
+      const std::int64_t amount =
+          512 * (1 + static_cast<std::int64_t>(rng.next_double() * 4.0));
+      switch (static_cast<int>(rng.next_double() * 6.0)) {
+        case 0:
+          if (ledger.fits_virtual(amount) && ledger.fits_physical(amount)) {
+            ledger.allocate_resident(amount);
+            resident.push_back(amount);
+            check("allocate_resident");
+          }
+          break;
+        case 1:
+          if (ledger.fits_virtual(amount)) {
+            ledger.allocate_spilled(amount);
+            spilled.push_back(amount);
+            check("allocate_spilled");
+          }
+          break;
+        case 2:
+          if (!resident.empty()) {
+            ledger.spill(resident.back());
+            spilled.push_back(resident.back());
+            resident.pop_back();
+            check("spill");
+          }
+          break;
+        case 3:
+          if (!spilled.empty() && ledger.fits_physical(spilled.back())) {
+            ledger.reclaim(spilled.back());
+            resident.push_back(spilled.back());
+            spilled.pop_back();
+            check("reclaim");
+          }
+          break;
+        case 4:
+          if (!resident.empty()) {
+            ledger.free_resident(resident.back());
+            resident.pop_back();
+            check("free_resident");
+          }
+          break;
+        default:
+          if (!spilled.empty()) {
+            ledger.free_spilled(spilled.back());
+            spilled.pop_back();
+            check("free_spilled");
+          }
+          break;
+      }
+    }
+    // Drain: freeing every live allocation must land the ledger on zero.
+    for (const std::int64_t a : resident) ledger.free_resident(a);
+    for (const std::int64_t a : spilled) ledger.free_spilled(a);
+    EXPECT_EQ(ledger.virtual_allocated(), 0) << "seed " << s;
+    EXPECT_EQ(ledger.physical_allocated(), 0) << "seed " << s;
+    EXPECT_EQ(ledger.spilled(), 0) << "seed " << s;
+    EXPECT_TRUE(ledger.check_invariant()) << "seed " << s;
+  }
+}
+
+TEST(ResourceLedger, CountersTrackTransitions) {
+  vres::ResourceLedger ledger;
+  ledger.allocate_resident(1024);
+  ledger.spill(1024);
+  ledger.reclaim(1024);
+  ledger.spill(512);
+  ledger.free_resident(512);
+  ledger.free_spilled(512);
+  EXPECT_EQ(ledger.spills(), 2);
+  EXPECT_EQ(ledger.reclaims(), 1);
+  EXPECT_EQ(ledger.spill_amount_total(), 1536);
+  EXPECT_EQ(ledger.reclaim_amount_total(), 1024);
+  EXPECT_EQ(ledger.peak_virtual(), 1024);
+  EXPECT_EQ(ledger.peak_spilled(), 1024);
+  EXPECT_EQ(ledger.virtual_allocated(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// VirtualShmem at oversub == 1.0 is a pure passthrough: identical offsets,
+// identical failures, identical sweep behavior as the raw buddy allocator.
+// ---------------------------------------------------------------------------
+
+TEST(VirtualShmem, PassthroughMatchesRawBuddy) {
+  constexpr std::int32_t kArena = 32 * 1024;
+  std::vector<std::byte> arena(kArena);
+  vres::VirtualShmem virt(arena, /*oversub=*/1.0);
+  runtime::ShmemAllocator raw(kArena);
+  ASSERT_FALSE(virt.virtualized());
+
+  SplitMix64 rng(0xBEEFULL);
+  std::vector<std::int32_t> live;
+  for (int i = 0; i < 500; ++i) {
+    const double roll = rng.next_double();
+    if (roll < 0.6) {
+      const auto bytes =
+          static_cast<std::int32_t>(256 + rng.next_double() * 8192.0);
+      // The passthrough must ignore the used hint entirely.
+      const auto got = virt.allocate(bytes, bytes / 2);
+      const auto want = raw.allocate(bytes);
+      ASSERT_EQ(got.has_value(), want.has_value()) << "step " << i;
+      if (got.has_value()) {
+        ASSERT_EQ(got->offset, *want) << "step " << i;
+        ASSERT_EQ(got->vid, -1) << "step " << i;
+        ASSERT_EQ(got->spills, 0) << "step " << i;
+        live.push_back(got->offset);
+      }
+    } else if (roll < 0.9 && !live.empty()) {
+      const auto idx = static_cast<std::size_t>(rng.next_double() *
+                                                static_cast<double>(live.size()));
+      virt.mark_for_deallocation(live[idx]);
+      raw.mark_for_deallocation(live[idx]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else {
+      ASSERT_EQ(virt.sweep_deferred(), raw.sweep_deferred()) << "step " << i;
+    }
+    ASSERT_EQ(virt.allocated_bytes(), raw.allocated_bytes()) << "step " << i;
+    ASSERT_EQ(virt.has_deferred(), raw.has_deferred()) << "step " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Virtualized mode: deterministic coldest-first spill, content-preserving
+// reclaim, and the ledger invariant across the whole episode.
+// ---------------------------------------------------------------------------
+
+TEST(VirtualShmem, SpillsColdestAndReclaimPreservesBytes) {
+  constexpr std::int32_t kArena = 4 * 1024;
+  constexpr std::int32_t kBlock = 2 * 1024;
+  std::vector<std::byte> arena(kArena);
+  vres::VirtualShmem virt(arena, /*oversub=*/2.0);
+  ASSERT_TRUE(virt.virtualized());
+  ASSERT_EQ(virt.virtual_arena_bytes(), 2 * kArena);
+
+  const auto a = virt.allocate(kBlock, kBlock);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->spills, 0);
+  // Scribble a recognizable pattern into A's physical window.
+  for (std::int32_t i = 0; i < kBlock; ++i) {
+    arena[static_cast<std::size_t>(a->offset + i)] =
+        static_cast<std::byte>(i * 7 + 3);
+  }
+  const auto b = virt.allocate(kBlock, kBlock);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->spills, 0);
+
+  // The arena is physically full but virtually half-used: the third block
+  // must evict the coldest unpinned resident — A (lowest vid, never touched).
+  const auto c = virt.allocate(kBlock, kBlock);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->spills, 1);
+  EXPECT_EQ(c->spilled_bytes, kBlock);
+  EXPECT_EQ(virt.spilled_bytes_in_use(), kBlock);
+  EXPECT_TRUE(virt.ledger().check_invariant());
+
+  // Simulate C's threadblock clobbering the bytes A used to own.
+  for (auto& byte : arena) byte = std::byte{0xEE};
+
+  // Touching A reclaims it (spilling the next-coldest victim, B) and must
+  // restore A's bytes exactly at its new physical offset.
+  const auto back = virt.touch(a->vid);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->reclaimed);
+  EXPECT_EQ(back->reclaimed_bytes, kBlock);
+  EXPECT_EQ(back->spills, 1);
+  for (std::int32_t i = 0; i < kBlock; ++i) {
+    ASSERT_EQ(arena[static_cast<std::size_t>(back->offset + i)],
+              static_cast<std::byte>(i * 7 + 3))
+        << "byte " << i;
+  }
+  EXPECT_TRUE(virt.ledger().check_invariant());
+  EXPECT_EQ(virt.spills(), 2);
+  EXPECT_EQ(virt.reclaims(), 1);
+
+  // A is pinned by its touch, so reclaiming B can only evict C — the one
+  // remaining unpinned resident.
+  const auto b2 = virt.touch(b->vid);
+  ASSERT_TRUE(b2.has_value());
+  EXPECT_TRUE(b2->reclaimed);
+  EXPECT_EQ(b2->spills, 1);
+  virt.mark_for_deallocation(-1, a->vid);
+  virt.mark_for_deallocation(-1, b->vid);
+  virt.sweep_deferred();
+  const auto c2 = virt.touch(c->vid);
+  ASSERT_TRUE(c2.has_value());
+  EXPECT_TRUE(c2->reclaimed);
+  virt.mark_for_deallocation(-1, c->vid);
+  virt.sweep_deferred();
+  EXPECT_EQ(virt.live_allocations(), 0);
+  EXPECT_EQ(virt.ledger().virtual_allocated(), 0);
+}
+
+// Declared > used: the virtual charge is pow2(declared), the physical
+// backing pow2(used) — more blocks co-reside than the declared footprints
+// could ever pack physically.
+TEST(VirtualShmem, UsedFootprintPacksDenserThanDeclared) {
+  constexpr std::int32_t kArena = 8 * 1024;
+  std::vector<std::byte> arena(kArena);
+  vres::VirtualShmem virt(arena, /*oversub=*/2.0);
+  // Four blocks declaring 4 KB each (16 KB total — only the virtual arena
+  // holds them) while using 2 KB each (8 KB — exactly the physical arena).
+  for (int i = 0; i < 4; ++i) {
+    const auto r = virt.allocate(4 * 1024, 2 * 1024);
+    ASSERT_TRUE(r.has_value()) << "block " << i;
+    EXPECT_EQ(r->spills, 0) << "block " << i;
+  }
+  EXPECT_EQ(virt.virtual_bytes_in_use(), 16 * 1024);
+  EXPECT_EQ(virt.allocated_bytes(), 8 * 1024);
+  EXPECT_EQ(virt.spilled_bytes_in_use(), 0);
+  // A fifth 4 KB declaration no longer fits virtually (20 KB > 16 KB).
+  EXPECT_FALSE(virt.allocate(4 * 1024, 2 * 1024).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Virtual occupancy arithmetic (gpu/occupancy.h).
+// ---------------------------------------------------------------------------
+
+TEST(OccupancyVirtual, ReducesToPhysicalAtOversubOne) {
+  const gpu::GpuSpec spec = gpu::GpuSpec::titan_x();
+  const gpu::BlockFootprint f = gpu::BlockFootprint::of(128, 33, 8 * 1024);
+  const gpu::OccupancyResult plain = gpu::max_residency(spec, f);
+  const gpu::OccupancyResult virt =
+      gpu::max_residency_virtual(spec, f, f, 1.0);
+  EXPECT_EQ(virt.blocks_per_smm, plain.blocks_per_smm);
+  EXPECT_EQ(virt.warps_per_smm, plain.warps_per_smm);
+  EXPECT_DOUBLE_EQ(virt.occupancy, plain.occupancy);
+}
+
+TEST(OccupancyVirtual, OversubLiftsShmemBoundResidency) {
+  gpu::GpuSpec spec;
+  spec.shared_mem_per_smm = 32 * 1024;
+  gpu::BlockFootprint declared = gpu::BlockFootprint::of(32, 0, 8 * 1024);
+  gpu::BlockFootprint used = declared;
+  used.shared_mem_bytes = 4 * 1024;
+  // Physically shmem-bound at 4 blocks; 1.5x oversubscription admits 6
+  // declared footprints and the used footprints still fit (32K/4K = 8).
+  EXPECT_EQ(gpu::max_residency(spec, declared).blocks_per_smm, 4);
+  const gpu::OccupancyResult virt =
+      gpu::max_residency_virtual(spec, declared, used, 1.5);
+  EXPECT_EQ(virt.blocks_per_smm, 6);
+  // The physical used-footprint limit still binds: an oversub big enough to
+  // admit 16 declared blocks is capped by 32K/4K = 8 physical backings.
+  const gpu::OccupancyResult capped =
+      gpu::max_residency_virtual(spec, declared, used, 4.0);
+  EXPECT_EQ(capped.blocks_per_smm, 8);
+}
+
+// ---------------------------------------------------------------------------
+// End to end: irregular DCT under --oversub=1.5 in Compute mode.
+// run_experiment() aborts unless every task's output matches the CPU
+// reference, so passing this test IS the correctness gate for oversubscribed
+// execution. The vres metric keys must appear iff oversub > 1.
+// ---------------------------------------------------------------------------
+
+std::string run_dct(double oversub) {
+  workloads::WorkloadConfig wcfg;
+  wcfg.num_tasks = 48;
+  wcfg.threads_per_task = 64;
+  wcfg.irregular_sizes = true;
+  wcfg.seed = 0x5EED5ULL;
+
+  baselines::RunConfig rcfg = harness::paper_platform();
+  rcfg.mode = gpu::ExecMode::Compute;
+  rcfg.pagoda.oversub = oversub;
+
+  obs::CollectorConfig ccfg;
+  ccfg.sample_period = sim::microseconds(50.0);
+  obs::Collector collector(ccfg);
+  rcfg.collector = &collector;
+
+  const harness::Measurement m =
+      harness::run_experiment("DCT", "Pagoda", wcfg, rcfg);
+  std::ostringstream os;
+  m.metrics.write_json(os);
+  return os.str();
+}
+
+TEST(VresEndToEnd, OversubComputeVerifiesAndExportsMetrics) {
+  const std::string metrics = run_dct(1.5);
+  EXPECT_NE(metrics.find("pagoda.vres.spills"), std::string::npos);
+  EXPECT_NE(metrics.find("pagoda.shmem.external_frag"), std::string::npos);
+}
+
+TEST(VresEndToEnd, OversubOneEmitsNoVresKeys) {
+  const std::string metrics = run_dct(1.0);
+  EXPECT_EQ(metrics.find("pagoda.vres."), std::string::npos);
+  EXPECT_EQ(metrics.find("pagoda.shmem.external_frag"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pagoda

@@ -303,6 +303,62 @@ migrate_smoke() {
   ("${dir}/tools/pagoda_cli" --list-policies) | grep -q -- "--autoscale=SPEC"
 }
 
+vres_smoke() {
+  local dir="$1"
+  echo "==> vres smoke ${dir}"
+  # Oversubscribed single-device run: the vres + fragmentation planes must
+  # export, and compute mode must still verify against the CPU references.
+  local out
+  out=$("${dir}/tools/pagoda_cli" --workload=DCT --tasks=256 --irregular \
+      --oversub=1.5 --metrics)
+  grep -q "pagoda.vres.spills" <<<"${out}"
+  grep -q "pagoda.shmem.external_frag" <<<"${out}"
+  "${dir}/tools/pagoda_cli" --workload=DCT --tasks=128 --irregular \
+      --oversub=1.5 --compute >/dev/null
+  # --oversub=1.0 keeps the plane dark: no vres keys may appear (the
+  # byte-identical-by-construction contract).
+  out=$("${dir}/tools/pagoda_cli" --workload=DCT --tasks=256 --irregular \
+      --metrics)
+  if grep -q "pagoda.vres" <<<"${out}"; then
+    echo "error: --oversub=1 unexpectedly exported vres metrics" >&2
+    exit 1
+  fi
+  # Strict validation: undersubscription and garbage fail fast.
+  if "${dir}/tools/pagoda_cli" --workload=DCT --oversub=0.5 \
+      >/dev/null 2>&1; then
+    echo "error: --oversub=0.5 unexpectedly accepted" >&2
+    exit 1
+  fi
+  ("${dir}/tools/pagoda_cli" --workload=DCT --oversub=0.5 2>&1 || true) |
+    grep -q -- "--oversub must be a finite factor >= 1.0"
+  if "${dir}/tools/pagoda_cli" --workload=DCT --oversub=abc \
+      >/dev/null 2>&1; then
+    echo "error: --oversub=abc unexpectedly accepted" >&2
+    exit 1
+  fi
+  ("${dir}/tools/pagoda_cli" --workload=DCT --oversub=abc 2>&1 || true) |
+    grep -q "invalid value for --oversub"
+  # The footprint columns predict which workloads oversubscription helps.
+  ("${dir}/tools/pagoda_cli" --list-workloads) | grep -q "shmem/blk"
+}
+
+vres_grep_clean() {
+  # The virtual plane owns physical resources: only src/pagoda (the
+  # backend) and src/vres (the facade) may name the buddy allocator or
+  # construct a TaskTable. micro_components is the one sanctioned
+  # exception — it benchmarks the physical backend in isolation.
+  echo "==> vres layering grep"
+  local hits
+  hits=$(grep -rnE "\bShmemAllocator\b|\bTaskTable [a-z_]+\(" \
+      --include="*.cpp" --include="*.h" src bench tools examples |
+      grep -v "^src/pagoda/\|^src/vres/\|^bench/micro_components.cpp" || true)
+  if [[ -n "${hits}" ]]; then
+    echo "error: physical resource structures touched outside src/pagoda + src/vres:" >&2
+    echo "${hits}" >&2
+    exit 1
+  fi
+}
+
 power_grep_clean() {
   # Only src/power (the governor included) may move P/C/S states: the
   # mutator verbs must not appear anywhere else in the production tree.
@@ -450,10 +506,12 @@ trace_smoke build-release
 power_smoke build-release
 migrate_smoke build-release
 fleet_smoke build-release
+vres_smoke build-release
 engine_grep_clean
 fault_grep_clean
 sched_grep_clean
 power_grep_clean
+vres_grep_clean
 wallclock_gate build-release
 fleet_gate build-release
 
@@ -509,6 +567,16 @@ build-release/bench/elastic_fleet --out=/tmp/pagoda_migrate_b.json >/dev/null
 cmp /tmp/pagoda_migrate_a.json /tmp/pagoda_migrate_b.json
 rm -f /tmp/pagoda_migrate_a.json /tmp/pagoda_migrate_b.json
 
+echo "==> bench determinism + virtual-occupancy gate (occupancy_virt)"
+# The bench CHECKs >= 1.2x throughput and strictly higher measured SMM
+# occupancy at the gate oversub factor vs static reservation, per seed,
+# plus a compute-mode run verified against the CPU references; two runs
+# must be byte-identical.
+build-release/bench/occupancy_virt --out=/tmp/pagoda_vres_a.json >/dev/null
+build-release/bench/occupancy_virt --out=/tmp/pagoda_vres_b.json >/dev/null
+cmp /tmp/pagoda_vres_a.json /tmp/pagoda_vres_b.json
+rm -f /tmp/pagoda_vres_a.json /tmp/pagoda_vres_b.json
+
 echo "==> power wake-up attribution gate (trace_report --explain-slo)"
 # Diurnal traffic on an energy-min fleet: the peak after a trough wakes a
 # sleeping node, and the S-state wake latency must surface as the dominant
@@ -532,6 +600,7 @@ if [[ "${1:-}" != "--fast" ]]; then
   trace_smoke build-asan
   power_smoke build-asan
   migrate_smoke build-asan
+  vres_smoke build-asan
   echo "==> qos_isolation determinism under sanitizers"
   build-asan/bench/qos_isolation --tasks=512 --seeds=2 \
       --out=/tmp/pagoda_sched_a.json >/dev/null
@@ -548,13 +617,15 @@ if [[ "${1:-}" != "--fast" ]]; then
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DPAGODA_SANITIZE=thread >/dev/null
   echo "==> build build-tsan (pagoda_cli, fleet_scale, shard_test," \
-       "migrate_test)"
+       "migrate_test, vres_test)"
   cmake --build build-tsan -j "${JOBS}" \
-      --target pagoda_cli fleet_scale shard_test migrate_test
+      --target pagoda_cli fleet_scale shard_test migrate_test vres_test
   echo "==> TSan: shard coordinator unit tests"
   build-tsan/tests/shard_test
   echo "==> TSan: migration plane (checkpoint/restore, autoscaler)"
   build-tsan/tests/migrate_test
+  echo "==> TSan: virtual resource plane (ledger soak, spill/reclaim)"
+  build-tsan/tests/vres_test
   echo "==> TSan: threaded cluster + fleet smoke"
   build-tsan/tools/pagoda_cli --workload=MM --tasks=256 --gpus=8 \
       --arrival=poisson:1000000 --threads=4 --metrics >/dev/null

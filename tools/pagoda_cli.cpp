@@ -73,6 +73,8 @@ int list_options() {
       "           --profile[=out.json] --trace=out.csv "
       "--trace-format=csv|chrome\n"
       "           --list-workloads   (Table 3 traits per workload)\n"
+      "vres:      --oversub=F  (virtual resource plane, F >= 1.0;\n"
+      "            1.0 = physical reservations, byte-identical baseline)\n"
       "qos:       --sched-policy=fifo|priority|edf|wfq\n"
       "           --class=interactive|standard|batch --weights=A,B,C (wfq)\n"
       "cluster:   --gpus=N | --gpus=titanx,k40,...   (selects the Cluster "
@@ -120,6 +122,9 @@ const char* policy_desc(std::string_view name) {
   }
   if (name == "energy-min") {
     return "pack the fewest awake nodes so the governor can sleep the rest";
+  }
+  if (name == "vres-aware") {
+    return "virtual slot headroom minus spill pressure (pairs with --oversub)";
   }
   return "";
 }
@@ -266,11 +271,13 @@ std::optional<std::array<double, sched::kNumClasses>> parse_weights(
 }
 
 /// --list-workloads: one row per benchmark with its Table-3 shape — default
-/// task dimensions, register/shared-memory footprint, and dependency-wave
-/// depth (generated at a small task count; the traits don't depend on it).
+/// task dimensions, the resource footprint the virtual plane reasons about
+/// (shared-memory bytes per block, registers per thread, blocks per
+/// dependency wave), and wave depth (generated at a small task count; the
+/// traits don't depend on it).
 int list_workloads() {
-  std::printf("%-6s %12s %6s %10s %6s  %s\n", "name", "threads/task", "regs",
-              "shmem", "waves", "traits");
+  std::printf("%-6s %12s %9s %10s %9s %6s  %s\n", "name", "threads/task",
+              "regs/thr", "shmem/blk", "blk/wave", "waves", "traits");
   for (const std::string_view name : workloads::all_workload_names()) {
     std::unique_ptr<workloads::Workload> w = workloads::make_workload(name);
     workloads::WorkloadConfig cfg;
@@ -278,13 +285,19 @@ int list_workloads() {
     w->generate(cfg);
     const workloads::WorkloadTraits tr = w->traits();
     const workloads::TaskSpec& t = w->tasks().front();
+    const int waves = w->max_wave() + 1;
+    std::int64_t total_blocks = 0;
+    for (const workloads::TaskSpec& s : w->tasks()) {
+      total_blocks += s.params.num_blocks;
+    }
     std::string traits;
     if (tr.irregular) traits += "irregular ";
     if (tr.may_use_shared) traits += "shared-mem ";
     if (tr.needs_sync) traits += "block-sync ";
-    std::printf("%-6s %12d %6d %9dB %6d  %s\n", std::string(name).c_str(),
+    std::printf("%-6s %12d %9d %9dB %9lld %6d  %s\n", std::string(name).c_str(),
                 t.params.threads_per_block * t.params.num_blocks,
-                t.regs_per_thread, t.params.shared_mem_bytes, w->max_wave() + 1,
+                t.regs_per_thread, t.params.shared_mem_bytes,
+                static_cast<long long>(total_blocks / waves), waves,
                 traits.empty() ? "-" : traits.c_str());
   }
   return 0;
@@ -303,7 +316,8 @@ int main(int argc, char** argv) {
        "metrics", "metrics-period", "profile", "gpus", "policy", "arrival",
        "slo-us", "queue-limit", "faults", "retry-budget", "task-timeout-us",
        "sched-policy", "class", "weights", "trace-spans", "power", "governor",
-       "power-cap-watts", "sim-core", "migrate", "autoscale", "resize"});
+       "power-cap-watts", "sim-core", "migrate", "autoscale", "resize",
+       "oversub"});
   if (!bad.empty()) {
     std::fprintf(stderr, "error: unknown argument '%s' (try --help)\n",
                  bad.c_str());
@@ -357,6 +371,34 @@ int main(int argc, char** argv) {
   rcfg.pagoda.rows_per_column =
       static_cast<int>(flags.get_int("rows", 32));
   rcfg.pagoda.two_copy_spawn = flags.has("two-copy");
+
+  // Virtual resource plane (DESIGN.md §16): ONE factor drives shared-memory
+  // and register virtualization inside every MasterKernel plus virtual
+  // TaskTable-slot admission in the cluster dispatcher. 1.0 (the default)
+  // is byte-identical to physical reservations.
+  const double oversub = flags.get_double("oversub", 1.0);
+  if (flags.has("oversub")) {
+    if (flags.get("oversub", "").empty()) {
+      std::fprintf(stderr,
+                   "error: --oversub needs a factor (e.g. --oversub=1.5)\n");
+      return 1;
+    }
+    if (multi || !(pagoda_rt || rt == "Cluster")) {
+      std::fprintf(stderr,
+                   "error: --oversub needs a single Pagoda, PagodaBatching "
+                   "or Cluster runtime (the virtual resource plane lives in "
+                   "the MasterKernel)\n");
+      return 1;
+    }
+    if (!std::isfinite(oversub) || oversub < 1.0) {
+      std::fprintf(stderr,
+                   "error: --oversub must be a finite factor >= 1.0 "
+                   "(1.0 = physical reservations; e.g. --oversub=1.5 "
+                   "admits 1.5x the declared footprints)\n");
+      return 1;
+    }
+  }
+  rcfg.pagoda.oversub = oversub;
 
   // QoS scheduling: one --sched-policy flag drives every layer that orders
   // work (cluster admission, host spawn order, scheduler-warp claim order).
